@@ -1,0 +1,63 @@
+// Command benchtab regenerates the experiment tables of EXPERIMENTS.md:
+// one table per paper claim (DESIGN.md §4, experiments E1..E13).
+//
+// Usage:
+//
+//	benchtab -experiment all          # every table (slow, full scale)
+//	benchtab -experiment E2 -quick    # one table at reduced scale
+//	benchtab -list                    # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iobt/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "experiment id (E1..E13) or 'all'")
+		seed       = fs.Int64("seed", 42, "deterministic seed")
+		quick      = fs.Bool("quick", false, "reduced workload sizes")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		format     = fs.String("format", "table", "output format: table|csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return nil
+	}
+	render := func(t *experiments.Table) string {
+		if *format == "csv" {
+			return t.CSV()
+		}
+		return t.String()
+	}
+	if strings.EqualFold(*experiment, "all") {
+		for _, e := range experiments.All() {
+			fmt.Println(render(e.Run(*seed, *quick)))
+		}
+		return nil
+	}
+	e, ok := experiments.Lookup(*experiment)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (use -list)", *experiment)
+	}
+	fmt.Println(render(e.Run(*seed, *quick)))
+	return nil
+}

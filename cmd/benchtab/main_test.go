@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run([]string{"-experiment", "E99"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunSingleQuick(t *testing.T) {
+	if err := run([]string{"-experiment", "E9", "-quick"}); err != nil {
+		t.Fatalf("E9 quick: %v", err)
+	}
+	if err := run([]string{"-experiment", "e9", "-quick", "-format", "csv"}); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

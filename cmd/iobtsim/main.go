@@ -1,0 +1,134 @@
+// Command iobtsim runs one IoBT mission scenario end to end: build a
+// battlefield world, synthesize a composite asset for the mission goal,
+// execute with reflexive adaptation under optional jamming and churn,
+// and print the mission metrics.
+//
+// Usage:
+//
+//	iobtsim -assets 500 -command intent -minutes 10
+//	iobtsim -command hierarchy -levels 4 -jam -terrain urban
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"iobt/internal/asset"
+	"iobt/internal/attack"
+	"iobt/internal/core"
+	"iobt/internal/geo"
+	"iobt/internal/intent"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iobtsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("iobtsim", flag.ContinueOnError)
+	var (
+		seed    = fs.Int64("seed", 1, "deterministic seed")
+		assets  = fs.Int("assets", 500, "approximate asset count")
+		terrain = fs.String("terrain", "open", "terrain: open|urban|sparse")
+		size    = fs.Float64("size", 1500, "map side length (m)")
+		command = fs.String("command", "intent", "command model: intent|hierarchy")
+		levels  = fs.Int("levels", 3, "hierarchy depth (hierarchy only)")
+		minutes = fs.Int("minutes", 10, "simulated mission duration")
+		rate    = fs.Float64("rate", 20, "incidents per simulated minute")
+		jam     = fs.Bool("jam", false, "activate a central jammer at t=2min")
+		churn   = fs.Bool("churn", false, "enable asset churn (2%/min failures)")
+		spec    = fs.String("spec", "", "mission spec file in the intent DSL (overrides -command/-levels/-rate)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var terr *geo.Terrain
+	switch *terrain {
+	case "open":
+		terr = geo.NewOpenTerrain(*size, *size)
+	case "urban":
+		terr = geo.NewUrbanTerrain(*size, *size, 100)
+	case "sparse":
+		terr = geo.NewSparseTerrain(*size, *size)
+	default:
+		return fmt.Errorf("unknown terrain %q", *terrain)
+	}
+
+	cfg := core.WorldConfig{Seed: *seed, Terrain: terr, Assets: *assets}
+	if *churn {
+		cfg.Churn = &asset.ChurnConfig{FailRatePerMin: 0.02, ArriveRatePerMin: 3, ReviveProb: 0.5}
+	}
+	w := core.NewWorld(cfg)
+	defer w.Stop()
+
+	var m core.Mission
+	if *spec != "" {
+		raw, err := os.ReadFile(*spec)
+		if err != nil {
+			return fmt.Errorf("read spec: %w", err)
+		}
+		m, err = intent.Parse(string(raw))
+		if err != nil {
+			return err
+		}
+	} else {
+		pad := *size / 5
+		m = core.DefaultMission(geo.NewRect(
+			geo.Point{X: pad, Y: pad}, geo.Point{X: *size - pad, Y: *size - pad}))
+		m.Goal.CoverageFrac = 0.5
+		m.IncidentsPerMin = *rate
+		m.HierarchyLevels = *levels
+		switch *command {
+		case "intent":
+			m.Command = core.CommandIntent
+		case "hierarchy":
+			m.Command = core.CommandHierarchy
+		default:
+			return fmt.Errorf("unknown command model %q", *command)
+		}
+	}
+
+	r := core.NewRuntime(w, m)
+	if err := r.Synthesize(); err != nil {
+		return fmt.Errorf("synthesis: %w", err)
+	}
+	comp := r.Composite()
+	fmt.Printf("world: %d assets on %s terrain (%gm)\n", w.Pop.Len(), *terrain, *size)
+	fmt.Printf("composite: %d members, coverage %.2f, connected %v, mean trust %.2f\n",
+		len(comp.Members), comp.Assurance.CoverageFrac, comp.Assurance.Connected,
+		comp.Assurance.MeanTrust)
+
+	if err := r.Start(); err != nil {
+		return err
+	}
+	if *jam {
+		w.Jam.Add(attack.Jammer{
+			Area:      geo.Circle{Center: terr.Bounds.Center(), Radius: *size / 3},
+			Intensity: 0.9,
+			From:      2 * time.Minute,
+		})
+		fmt.Println("jammer armed: center of map at t=2min")
+	}
+	if err := w.Run(time.Duration(*minutes) * time.Minute); err != nil {
+		return err
+	}
+	r.Stop()
+
+	met := &r.Metrics
+	fmt.Printf("\nmission results (%d simulated minutes, %s command):\n", *minutes, m.Command)
+	fmt.Printf("  incidents:        %d\n", met.Incidents.Value())
+	fmt.Printf("  detected:         %d (%.0f%%)\n", met.Detected.Value(), 100*met.DetectionRate())
+	fmt.Printf("  acted:            %d\n", met.Acted.Value())
+	fmt.Printf("  on time:          %d (success %.0f%%)\n", met.OnTime.Value(), 100*met.SuccessRate())
+	fmt.Printf("  decision latency: %s\n", met.DecisionLatency.Summarize())
+	fmt.Printf("  reflex repairs:   %d\n", met.Repairs.Value())
+	fmt.Printf("  network: delivered=%d dropped=%d noroute=%d\n",
+		w.Net.Delivered.Value(), w.Net.Dropped.Value(), w.Net.NoRoute.Value())
+	return nil
+}

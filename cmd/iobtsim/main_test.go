@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBadArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad terrain", []string{"-terrain", "lunar"}, "unknown terrain"},
+		{"bad command", []string{"-command", "anarchy"}, "unknown command"},
+		{"bad flag", []string{"-nope"}, "flag provided"},
+		{"missing spec", []string{"-spec", "/nonexistent/x.spec"}, "read spec"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRunShortMission(t *testing.T) {
+	if err := run([]string{"-minutes", "1", "-assets", "200", "-rate", "10"}); err != nil {
+		t.Fatalf("short mission: %v", err)
+	}
+}
+
+func TestRunWithSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "m.spec")
+	content := "mission \"t\"\narea (200,200)-(1000,1000)\ncover 40%\ncommand intent\nrate 10/min\n"
+	if err := os.WriteFile(spec, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-minutes", "1", "-assets", "200", "-spec", spec}); err != nil {
+		t.Fatalf("spec mission: %v", err)
+	}
+	// A malformed spec surfaces the parse error.
+	bad := filepath.Join(dir, "bad.spec")
+	_ = os.WriteFile(bad, []byte("cover 40%"), 0o600)
+	if err := run([]string{"-spec", bad}); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Tracking: the paper's §II flagship task — "tracking a dispersed group
+// of humans and vehicles moving through cluttered environments" — with
+// the §III secure-state-estimation twist: two of the six sensors have
+// been captured and inject biased positions. Naive averaging of
+// redundant detections is dragged off-target; coordinate-wise median
+// fusion (resilient to any minority of corrupted sensors) keeps the
+// track on the real target, and the outlier flagger identifies the
+// compromised sensors for the trust ledger.
+//
+//	go run ./examples/tracking
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"iobt/internal/asset"
+	"iobt/internal/geo"
+	"iobt/internal/sim"
+	"iobt/internal/track"
+	"iobt/internal/trust"
+)
+
+func main() {
+	rng := sim.NewRNG(17)
+
+	// One vehicle crossing the sector, watched by six overlapping
+	// sensors; sensors 0 and 1 are compromised and report a +150 m bias.
+	target := geo.NewPatrol([]geo.Point{{X: 100, Y: 500}, {X: 900, Y: 500}}, 8)
+	const nSensors = 6
+	const bias = 150.0
+
+	ledger := trust.NewLedger()
+	meanTracker := track.NewTracker(track.Config{ProcessNoise: 36})
+	medianTracker := track.NewTracker(track.Config{ProcessNoise: 36})
+
+	var meanErr, medianErr sim.Series
+	now := time.Duration(0)
+	for step := 0; step < 180; step++ {
+		now += time.Second
+		truth := target.Step(time.Second)
+
+		// Each sensor reports the target with noise; captured sensors
+		// add their bias.
+		dets := make([]track.Detection, 0, nSensors)
+		for s := 0; s < nSensors; s++ {
+			p := truth.Add(geo.Vec{DX: rng.Norm(0, 3), DY: rng.Norm(0, 3)})
+			if s < 2 {
+				p = p.Add(geo.Vec{DX: bias, DY: 0})
+			}
+			dets = append(dets, track.Detection{Pos: p, Var: 9, Sensor: int32(s)})
+		}
+
+		// The contaminated-sensor audit feeds trust.
+		for _, i := range track.FlagOutliers(dets, 4) {
+			ledger.Observe(asset.ID(dets[i].Sensor), trust.EvAnomaly, false)
+		}
+
+		if fused, ok := track.FuseMean(dets); ok {
+			meanTracker.Observe(now, []track.Detection{fused})
+		}
+		if fused, ok := track.FuseMedian(dets); ok {
+			medianTracker.Observe(now, []track.Detection{fused})
+		}
+		if tr, d := meanTracker.Nearest(truth); tr != nil {
+			meanErr.Add(d)
+		}
+		if tr, d := medianTracker.Nearest(truth); tr != nil {
+			medianErr.Add(d)
+		}
+	}
+
+	fmt.Println("tracking one vehicle with 6 sensors, 2 captured (+150 m injected bias):")
+	fmt.Printf("  mean-fused track error:   %.1f m (dragged ~1/3 of the bias)\n", meanErr.Mean())
+	fmt.Printf("  median-fused track error: %.1f m (attack-resistant)\n", medianErr.Mean())
+	fmt.Print("  sensors flagged by the outlier audit:")
+	for s := 0; s < nSensors; s++ {
+		if !ledger.Trusted(asset.ID(s), 0.5) {
+			fmt.Printf(" %d", s)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module iobt
+
+go 1.22

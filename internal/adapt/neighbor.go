@@ -1,0 +1,108 @@
+package adapt
+
+import (
+	"iobt/internal/sim"
+)
+
+// Neighbor-adaptive parameter tuning (paper §IV.B): "instead of brittle
+// controllers designed with fixed assumptions, one may design novel
+// controllers that are parameterized differently but adapt their
+// parameterization by observing their neighbors, so that the system
+// self-adjusts to the environment." Population is that mechanism: a set
+// of agents with heterogeneous parameters, each locally hill-climbing a
+// performance signal and blending toward the best-performing neighbor
+// it can see.
+type Population struct {
+	// Params holds each agent's current parameter.
+	Params []float64
+	// Perf is an environment-supplied performance function (higher is
+	// better). It may change at any time — that is the point.
+	Perf func(param float64) float64
+	// Neighbors lists each agent's visible peers.
+	Neighbors [][]int
+	// Blend is the imitation strength toward the best neighbor, in
+	// [0,1]; StepSize is the local exploration step.
+	Blend, StepSize float64
+
+	rng *sim.RNG
+}
+
+// NewPopulation returns a population with the given initial parameters
+// and ring visibility.
+func NewPopulation(rng *sim.RNG, params []float64, perf func(float64) float64) *Population {
+	ps := make([]float64, len(params))
+	copy(ps, params)
+	n := len(ps)
+	nbrs := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if n > 1 {
+			nbrs[i] = []int{(i + n - 1) % n, (i + 1) % n}
+		}
+	}
+	return &Population{
+		Params:    ps,
+		Perf:      perf,
+		Neighbors: nbrs,
+		Blend:     0.3,
+		StepSize:  0.1,
+		rng:       rng,
+	}
+}
+
+// Step runs one adaptation round for every agent: probe locally (keep a
+// random perturbation if it helps), then blend toward the
+// best-performing visible neighbor. Imitation is what lets one lucky
+// agent's parameters propagate through the team after an environment
+// shift.
+func (p *Population) Step() {
+	n := len(p.Params)
+	perf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		perf[i] = p.Perf(p.Params[i])
+	}
+	next := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cur := p.Params[i]
+		// Local exploration.
+		cand := cur + p.rng.Norm(0, p.StepSize)
+		if p.Perf(cand) > perf[i] {
+			cur = cand
+		}
+		// Imitate the best neighbor if it is doing better.
+		bestNb, bestPerf := -1, perf[i]
+		for _, nb := range p.Neighbors[i] {
+			if perf[nb] > bestPerf {
+				bestNb, bestPerf = nb, perf[nb]
+			}
+		}
+		if bestNb >= 0 {
+			cur = (1-p.Blend)*cur + p.Blend*p.Params[bestNb]
+		}
+		next[i] = cur
+	}
+	p.Params = next
+}
+
+// MeanPerf returns the population's average performance.
+func (p *Population) MeanPerf() float64 {
+	if len(p.Params) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range p.Params {
+		total += p.Perf(v)
+	}
+	return total / float64(len(p.Params))
+}
+
+// StepsToReach runs Step until MeanPerf reaches target or maxSteps, and
+// returns the steps used and whether the target was met.
+func (p *Population) StepsToReach(target float64, maxSteps int) (int, bool) {
+	for s := 1; s <= maxSteps; s++ {
+		p.Step()
+		if p.MeanPerf() >= target {
+			return s, true
+		}
+	}
+	return maxSteps, false
+}

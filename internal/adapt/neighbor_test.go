@@ -1,0 +1,80 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"iobt/internal/sim"
+)
+
+// envPerf builds a unimodal performance landscape peaked at opt.
+func envPerf(opt float64) func(float64) float64 {
+	return func(p float64) float64 {
+		d := p - opt
+		return math.Exp(-d * d)
+	}
+}
+
+func TestPopulationConvergesToOptimum(t *testing.T) {
+	rng := sim.NewRNG(1)
+	params := []float64{-2, -1, 0, 1, 2, 3, 4, 5}
+	pop := NewPopulation(rng, params, envPerf(2.5))
+	steps, ok := pop.StepsToReach(0.9, 500)
+	if !ok {
+		t.Fatalf("never reached target; mean perf %.3f", pop.MeanPerf())
+	}
+	t.Logf("converged in %d steps", steps)
+	for _, v := range pop.Params {
+		if math.Abs(v-2.5) > 0.7 {
+			t.Errorf("agent param %v far from optimum 2.5", v)
+		}
+	}
+}
+
+// TestDiversitySpeedsRecovery is the live [15]-[18] claim: after an
+// environment shift, a parameter-diverse team recovers much faster than
+// a homogeneous one because some member is already near the new optimum
+// and imitation propagates its parameters.
+func TestDiversitySpeedsRecovery(t *testing.T) {
+	recover := func(diverse bool) int {
+		rng := sim.NewRNG(2)
+		var params []float64
+		for i := 0; i < 12; i++ {
+			if diverse {
+				params = append(params, float64(i)-4) // spread -4..7
+			} else {
+				params = append(params, 0) // tuned for the old environment
+			}
+		}
+		// The environment the team actually faces has its optimum at 6 —
+		// far from where the homogeneous team was tuned. (Note that
+		// prolonged imitation erases diversity: a team left to converge
+		// becomes effectively homogeneous, which is why doctrine that
+		// preserves heterogeneity matters.)
+		pop := NewPopulation(rng, params, envPerf(6))
+		steps, ok := pop.StepsToReach(0.5, 3000)
+		if !ok {
+			return 3000
+		}
+		return steps
+	}
+	homo := recover(false)
+	div := recover(true)
+	if div*3 > homo {
+		t.Errorf("diverse recovery %d steps not clearly faster than homogeneous %d", div, homo)
+	}
+}
+
+func TestPopulationEdges(t *testing.T) {
+	rng := sim.NewRNG(3)
+	empty := NewPopulation(rng, nil, envPerf(0))
+	empty.Step() // no panic
+	if empty.MeanPerf() != 0 {
+		t.Error("empty population perf should be 0")
+	}
+	single := NewPopulation(rng, []float64{1}, envPerf(1))
+	single.Step() // no neighbors: pure local search
+	if single.MeanPerf() < 0.9 {
+		t.Errorf("single agent at optimum perf = %v", single.MeanPerf())
+	}
+}

@@ -1,0 +1,180 @@
+package alloc
+
+import (
+	"errors"
+	"sort"
+)
+
+// Tier locates a compute node in the edge/core/backend hierarchy.
+type Tier int
+
+// Tiers, nearest (lowest latency) first.
+const (
+	TierEdge Tier = iota + 1
+	TierCore
+	TierBackend
+)
+
+// tierLatency is the per-tier access latency in milliseconds the placer
+// optimizes against.
+var tierLatency = map[Tier]float64{
+	TierEdge:    5,
+	TierCore:    25,
+	TierBackend: 100,
+}
+
+// Node is one compute node available to the placer.
+type Node struct {
+	ID       int
+	Tier     Tier
+	Capacity float64
+	used     float64
+}
+
+// Free returns remaining capacity.
+func (n *Node) Free() float64 { return n.Capacity - n.used }
+
+// Job is a unit of processing to place.
+type Job struct {
+	ID     int
+	Demand float64
+	// LatencySensitive jobs strongly prefer nearer tiers.
+	LatencySensitive bool
+}
+
+// Placement maps job ID to node ID.
+type Placement map[int]int
+
+// ErrNoCapacity means the job set exceeds total capacity.
+var ErrNoCapacity = errors.New("alloc: insufficient capacity for job set")
+
+// Placer assigns jobs to tiered nodes, latency-sensitive jobs first and
+// nearest-tier-first, falling back outward as tiers fill. It supports
+// failure-driven replacement (paper: "dynamically reallocate
+// heterogeneous resources at the edge, network core, and backend").
+type Placer struct {
+	nodes []*Node
+	where Placement
+	jobs  map[int]Job
+}
+
+// NewPlacer returns a placer over copies of the given nodes.
+func NewPlacer(nodes []Node) *Placer {
+	ns := make([]*Node, len(nodes))
+	for i := range nodes {
+		n := nodes[i]
+		ns[i] = &n
+	}
+	return &Placer{nodes: ns, where: make(Placement), jobs: make(map[int]Job)}
+}
+
+// Place assigns every job, returning the placement or ErrNoCapacity.
+// Already-placed jobs are retained.
+func (p *Placer) Place(jobs []Job) (Placement, error) {
+	ordered := make([]Job, len(jobs))
+	copy(ordered, jobs)
+	// Latency-sensitive first, then big jobs first (harder to fit).
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].LatencySensitive != ordered[j].LatencySensitive {
+			return ordered[i].LatencySensitive
+		}
+		if ordered[i].Demand != ordered[j].Demand {
+			return ordered[i].Demand > ordered[j].Demand
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	for _, j := range ordered {
+		if _, ok := p.where[j.ID]; ok {
+			continue
+		}
+		if !p.placeOne(j) {
+			return nil, ErrNoCapacity
+		}
+	}
+	out := make(Placement, len(p.where))
+	for k, v := range p.where {
+		out[k] = v
+	}
+	return out, nil
+}
+
+func (p *Placer) placeOne(j Job) bool {
+	// Candidate nodes sorted by tier latency then free capacity.
+	cands := make([]*Node, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		if n.Free() >= j.Demand {
+			cands = append(cands, n)
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		la, lb := tierLatency[cands[a].Tier], tierLatency[cands[b].Tier]
+		if la != lb {
+			if j.LatencySensitive {
+				return la < lb
+			}
+			return la > lb // batch work fills far tiers, keeping edge free
+		}
+		if cands[a].Free() != cands[b].Free() {
+			return cands[a].Free() > cands[b].Free()
+		}
+		return cands[a].ID < cands[b].ID
+	})
+	n := cands[0]
+	n.used += j.Demand
+	p.where[j.ID] = n.ID
+	p.jobs[j.ID] = j
+	return true
+}
+
+// FailNode evicts a node and re-places its jobs elsewhere. It returns
+// the IDs of jobs that could not be re-placed.
+func (p *Placer) FailNode(nodeID int) []int {
+	var displaced []Job
+	for jid, nid := range p.where {
+		if nid == nodeID {
+			displaced = append(displaced, p.jobs[jid])
+			delete(p.where, jid)
+		}
+	}
+	for i := range p.nodes {
+		if p.nodes[i].ID == nodeID {
+			p.nodes[i].Capacity = 0
+			p.nodes[i].used = 0
+		}
+	}
+	sort.Slice(displaced, func(i, j int) bool { return displaced[i].ID < displaced[j].ID })
+	var lost []int
+	for _, j := range displaced {
+		if !p.placeOne(j) {
+			lost = append(lost, j.ID)
+		}
+	}
+	return lost
+}
+
+// NodeOf returns the node a job is placed on, or -1.
+func (p *Placer) NodeOf(jobID int) int {
+	n, ok := p.where[jobID]
+	if !ok {
+		return -1
+	}
+	return n
+}
+
+// Latency returns the access latency (ms) of a job's current placement,
+// or -1 if unplaced.
+func (p *Placer) Latency(jobID int) float64 {
+	nid, ok := p.where[jobID]
+	if !ok {
+		return -1
+	}
+	for _, n := range p.nodes {
+		if n.ID == nid {
+			return tierLatency[n.Tier]
+		}
+	}
+	return -1
+}

@@ -1,0 +1,59 @@
+package anomaly
+
+import "math"
+
+// CUSUM is a two-sided cumulative-sum quickest-change detector (Page's
+// test): it accumulates evidence of a persistent mean shift and alarms
+// when either side's statistic crosses the threshold. Where the z-score
+// Detector needs a single large excursion, CUSUM detects small but
+// sustained shifts with minimal expected delay — the classical quickest
+// change detection setting (the paper's state-assessment services, §V.A).
+type CUSUM struct {
+	// Mu0 and Sigma describe the in-control distribution.
+	Mu0, Sigma float64
+	// Drift is the half-shift allowance k, in sigmas (detects shifts
+	// larger than ~2k); threshold h is also in sigmas.
+	Drift, Threshold float64
+
+	hi, lo float64
+	// Alarms counts threshold crossings.
+	Alarms int
+}
+
+// NewCUSUM returns a detector for the given in-control mean and
+// standard deviation. Non-positive drift defaults to 0.5 sigma,
+// non-positive threshold to 5 sigma (the ARL-standard choice).
+func NewCUSUM(mu0, sigma, drift, threshold float64) *CUSUM {
+	if sigma <= 0 {
+		sigma = 1
+	}
+	if drift <= 0 {
+		drift = 0.5
+	}
+	if threshold <= 0 {
+		threshold = 5
+	}
+	return &CUSUM{Mu0: mu0, Sigma: sigma, Drift: drift, Threshold: threshold}
+}
+
+// Observe folds in one sample and reports whether the detector alarms
+// on it. After an alarm the statistics reset, arming the detector for
+// the next change.
+func (c *CUSUM) Observe(v float64) bool {
+	z := (v - c.Mu0) / c.Sigma
+	c.hi = math.Max(0, c.hi+z-c.Drift)
+	c.lo = math.Max(0, c.lo-z-c.Drift)
+	if c.hi > c.Threshold || c.lo > c.Threshold {
+		c.hi, c.lo = 0, 0
+		c.Alarms++
+		return true
+	}
+	return false
+}
+
+// Stat returns the larger of the two one-sided statistics (how close
+// the detector is to alarming, in sigma units).
+func (c *CUSUM) Stat() float64 { return math.Max(c.hi, c.lo) }
+
+// Reset clears the accumulated statistics without counting an alarm.
+func (c *CUSUM) Reset() { c.hi, c.lo = 0, 0 }

@@ -1,0 +1,130 @@
+package anomaly
+
+import (
+	"testing"
+
+	"iobt/internal/sim"
+)
+
+func TestCUSUMDetectsUpShift(t *testing.T) {
+	rng := sim.NewRNG(1)
+	c := NewCUSUM(0, 1, 0.5, 5)
+	// In control: no (or extremely rare) alarms.
+	for i := 0; i < 500; i++ {
+		c.Observe(rng.Norm(0, 1))
+	}
+	if c.Alarms > 1 {
+		t.Errorf("false alarms in control: %d", c.Alarms)
+	}
+	// Shift by +1.5 sigma: alarm within a handful of samples.
+	c.Reset()
+	base := c.Alarms
+	delay := -1
+	for i := 0; i < 100; i++ {
+		if c.Observe(rng.Norm(1.5, 1)) && delay < 0 {
+			delay = i + 1
+		}
+	}
+	if c.Alarms == base {
+		t.Fatal("no alarm after +1.5 sigma shift")
+	}
+	if delay > 20 {
+		t.Errorf("detection delay = %d samples, want quick", delay)
+	}
+}
+
+func TestCUSUMDetectsDownShift(t *testing.T) {
+	rng := sim.NewRNG(2)
+	c := NewCUSUM(10, 2, 0.5, 5)
+	fired := false
+	for i := 0; i < 100; i++ {
+		if c.Observe(rng.Norm(7, 2)) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Error("no alarm on downward shift")
+	}
+}
+
+// TestCUSUMBeatsZScoreOnSmallShift is the quickest-change claim: a
+// persistent small shift that never produces a 3-sigma excursion is
+// invisible to the z-score detector but caught by CUSUM.
+func TestCUSUMBeatsZScoreOnSmallShift(t *testing.T) {
+	rng := sim.NewRNG(3)
+	c := NewCUSUM(0, 1, 0.25, 5)
+	z := NewDetector(0.05, 3)
+	for i := 0; i < 300; i++ {
+		v := rng.Norm(0, 0.2) // tight in-control noise
+		c.Observe(v)
+		z.Observe(v)
+	}
+	cusumDelay, zDelay := -1, -1
+	// Sustained shift of +0.45: ~2.2 of the z-detector's learned sigmas
+	// (below its 3-sigma threshold), but steadily accumulating for CUSUM.
+	for i := 0; i < 400; i++ {
+		v := rng.Norm(0.45, 0.2)
+		if c.Observe(v) && cusumDelay < 0 {
+			cusumDelay = i + 1
+		}
+		if s := z.Observe(v); s > 3 && zDelay < 0 {
+			zDelay = i + 1
+		}
+	}
+	if cusumDelay < 0 {
+		t.Fatal("CUSUM never detected the sustained small shift")
+	}
+	if zDelay >= 0 && zDelay <= cusumDelay {
+		t.Logf("z-score also fired (delay %d vs cusum %d) — acceptable but unexpected", zDelay, cusumDelay)
+	}
+	if cusumDelay > 30 {
+		t.Errorf("CUSUM delay = %d, want prompt detection", cusumDelay)
+	}
+}
+
+func TestCUSUMDefaults(t *testing.T) {
+	c := NewCUSUM(0, -1, 0, 0)
+	if c.Sigma != 1 || c.Drift != 0.5 || c.Threshold != 5 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+}
+
+func TestCUSUMStatAndReset(t *testing.T) {
+	c := NewCUSUM(0, 1, 0.5, 100) // huge threshold: never alarms
+	for i := 0; i < 10; i++ {
+		c.Observe(3)
+	}
+	if c.Stat() <= 0 {
+		t.Error("stat should accumulate under shift")
+	}
+	c.Reset()
+	if c.Stat() != 0 {
+		t.Error("reset did not clear statistics")
+	}
+	if c.Alarms != 0 {
+		t.Error("reset must not count an alarm")
+	}
+}
+
+func TestCUSUMRearmsAfterAlarm(t *testing.T) {
+	rng := sim.NewRNG(4)
+	c := NewCUSUM(0, 1, 0.5, 5)
+	alarms := 0
+	for epoch := 0; epoch < 3; epoch++ {
+		// In control.
+		for i := 0; i < 100; i++ {
+			c.Observe(rng.Norm(0, 1))
+		}
+		// Shift.
+		for i := 0; i < 50; i++ {
+			if c.Observe(rng.Norm(2, 1)) {
+				alarms++
+				break
+			}
+		}
+	}
+	if alarms != 3 {
+		t.Errorf("alarms = %d, want one per epoch", alarms)
+	}
+}

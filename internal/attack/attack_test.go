@@ -1,0 +1,232 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"iobt/internal/asset"
+	"iobt/internal/geo"
+	"iobt/internal/mesh"
+	"iobt/internal/sim"
+)
+
+func TestJammerWindow(t *testing.T) {
+	j := Jammer{From: 10 * time.Second, Until: 20 * time.Second}
+	if j.Active(5 * time.Second) {
+		t.Error("active before From")
+	}
+	if !j.Active(15 * time.Second) {
+		t.Error("inactive inside window")
+	}
+	if j.Active(25 * time.Second) {
+		t.Error("active after Until")
+	}
+	forever := Jammer{From: 0, Until: 0}
+	if !forever.Active(time.Hour) {
+		t.Error("zero Until should mean forever")
+	}
+}
+
+func TestFieldAt(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := NewField(eng)
+	f.Add(Jammer{Area: geo.Circle{Center: geo.Point{X: 100, Y: 100}, Radius: 50}, Intensity: 0.6})
+	f.Add(Jammer{Area: geo.Circle{Center: geo.Point{X: 100, Y: 100}, Radius: 30}, Intensity: 0.9})
+	if got := f.At(geo.Point{X: 100, Y: 100}); got != 0.9 {
+		t.Errorf("overlapping jammers: At = %v, want max 0.9", got)
+	}
+	if got := f.At(geo.Point{X: 140, Y: 100}); got != 0.6 {
+		t.Errorf("outer ring: At = %v, want 0.6", got)
+	}
+	if got := f.At(geo.Point{X: 500, Y: 500}); got != 0 {
+		t.Errorf("clear air: At = %v, want 0", got)
+	}
+	f.Clear()
+	if f.At(geo.Point{X: 100, Y: 100}) != 0 {
+		t.Error("Clear did not remove jammers")
+	}
+}
+
+func TestFieldClampsIntensity(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := NewField(eng)
+	f.Add(Jammer{Area: geo.Circle{Center: geo.Point{}, Radius: 10}, Intensity: 5})
+	if got := f.At(geo.Point{}); got != 1 {
+		t.Errorf("intensity not clamped: %v", got)
+	}
+}
+
+func TestFieldTimeWindowViaEngine(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := NewField(eng)
+	f.Add(Jammer{Area: geo.Circle{Center: geo.Point{}, Radius: 10}, Intensity: 1,
+		From: 10 * time.Second, Until: 20 * time.Second})
+	if f.At(geo.Point{}) != 0 {
+		t.Error("jammer active before window")
+	}
+	eng.Schedule(15*time.Second, "check", func() {
+		if f.At(geo.Point{}) != 1 {
+			t.Error("jammer inactive during window")
+		}
+	})
+	eng.Schedule(25*time.Second, "check", func() {
+		if f.At(geo.Point{}) != 0 {
+			t.Error("jammer active after window")
+		}
+	})
+	_ = eng.Run(0)
+}
+
+func TestCapture(t *testing.T) {
+	eng := sim.NewEngine(2)
+	terr := geo.NewOpenTerrain(100, 100)
+	pop := asset.NewPopulation(terr)
+	a := &asset.Asset{Class: asset.ClassSensor, Caps: asset.DefaultCaps(asset.ClassSensor), Online: true, Affiliation: asset.Blue}
+	a.Energy = 100
+	id := pop.Add(a)
+	Capture(eng, pop, id, 10*time.Second)
+	_ = eng.Run(5 * time.Second)
+	if a.Compromised {
+		t.Error("compromised before capture time")
+	}
+	_ = eng.Run(10 * time.Second)
+	if !a.Compromised {
+		t.Error("not compromised after capture time")
+	}
+	// Capturing a dead or missing node must not panic.
+	Capture(eng, pop, asset.ID(999), time.Second)
+	pop.Kill(id)
+	Capture(eng, pop, id, time.Second)
+	_ = eng.Run(time.Minute)
+}
+
+func TestContaminator(t *testing.T) {
+	rng := sim.NewRNG(3)
+	c := NewContaminator(rng, 5, 1)
+	if c.Value(10) != 15 {
+		t.Errorf("Value = %v", c.Value(10))
+	}
+	if c.Claim(true) != false {
+		t.Error("FlipProb=1 should always flip")
+	}
+	c2 := NewContaminator(rng, 0, 0)
+	if c2.Claim(true) != true {
+		t.Error("FlipProb=0 should never flip")
+	}
+}
+
+func TestSybil(t *testing.T) {
+	rng := sim.NewRNG(4)
+	terr := geo.NewOpenTerrain(1000, 1000)
+	pop := asset.NewPopulation(terr)
+	host := &asset.Asset{Affiliation: asset.Red, Class: asset.ClassPhone,
+		Caps: asset.DefaultCaps(asset.ClassPhone), Online: true, Emission: 0.8,
+		Mobility: &geo.Static{P: geo.Point{X: 500, Y: 500}}}
+	host.Energy = 100
+	hid := pop.Add(host)
+	ids := Sybil(pop, hid, 5, rng)
+	if len(ids) != 5 {
+		t.Fatalf("Sybil returned %d ids", len(ids))
+	}
+	for _, id := range ids {
+		s := pop.Get(id)
+		if s.Affiliation != asset.Red || !s.Compromised {
+			t.Error("sybil not marked red/compromised")
+		}
+		if s.Pos().Dist(host.Pos()) > 10 {
+			t.Error("sybil too far from host")
+		}
+	}
+	if Sybil(pop, asset.ID(999), 3, rng) != nil {
+		t.Error("Sybil on missing host should return nil")
+	}
+}
+
+func TestFloodSaturatesVictim(t *testing.T) {
+	eng := sim.NewEngine(5)
+	terr := geo.NewOpenTerrain(500, 500)
+	pop := asset.NewPopulation(terr)
+	caps := asset.DefaultCaps(asset.ClassSensor)
+	caps.RadioRange = 600
+	var ids []asset.ID
+	for i := 0; i < 4; i++ {
+		a := &asset.Asset{Class: asset.ClassSensor, Caps: caps, Online: true,
+			Mobility: &geo.Static{P: geo.Point{X: float64(100 * (i + 1)), Y: 250}}}
+		a.Energy = caps.EnergyCap
+		ids = append(ids, pop.Add(a))
+	}
+	cfg := mesh.DefaultConfig()
+	cfg.StepMobility = false
+	cfg.LossBase = 0
+	net := mesh.New(eng, pop, terr, cfg)
+	fl := NewFlood(eng, net, ids[1:], ids[0], 50, 10000)
+	fl.Start()
+	fl.Start() // idempotent
+	_ = eng.Run(10 * time.Second)
+	if fl.Sent() == 0 {
+		t.Fatal("flood emitted nothing")
+	}
+	fl.Stop()
+	sent := fl.Sent()
+	_ = eng.Run(10 * time.Second)
+	if fl.Sent() != sent {
+		t.Error("flood continued after Stop")
+	}
+}
+
+func TestFloodZeroRate(t *testing.T) {
+	eng := sim.NewEngine(6)
+	fl := NewFlood(eng, nil, nil, 0, 0, 10)
+	fl.Start() // must not panic or schedule
+	_ = eng.Run(time.Second)
+	if fl.Sent() != 0 {
+		t.Error("zero-rate flood sent messages")
+	}
+}
+
+func TestObscurantWindowAndArea(t *testing.T) {
+	eng := sim.NewEngine(7)
+	f := NewObscurants(eng)
+	f.Add(Obscurant{
+		Area:   geo.Circle{Center: geo.Point{X: 100, Y: 100}, Radius: 50},
+		Blocks: asset.ModVisual | asset.ModThermal,
+		From:   10 * time.Second,
+	})
+	if f.BlockedAt(geo.Point{X: 100, Y: 100}) != 0 {
+		t.Error("blocked before window")
+	}
+	eng.Schedule(15*time.Second, "check", func() {
+		got := f.BlockedAt(geo.Point{X: 100, Y: 100})
+		if !got.Has(asset.ModVisual | asset.ModThermal) {
+			t.Errorf("blocked = %v", got)
+		}
+		if f.BlockedAt(geo.Point{X: 500, Y: 500}) != 0 {
+			t.Error("blocked outside area")
+		}
+	})
+	_ = eng.Run(0)
+	f.Clear()
+	eng.Schedule(time.Second, "after-clear", func() {
+		if f.BlockedAt(geo.Point{X: 100, Y: 100}) != 0 {
+			t.Error("blocked after Clear")
+		}
+	})
+	_ = eng.Run(0)
+}
+
+func TestObscurantsNilSafe(t *testing.T) {
+	var f *Obscurants
+	if f.BlockedAt(geo.Point{}) != 0 {
+		t.Error("nil obscurants should block nothing")
+	}
+}
+
+func TestObscurantOverlappingUnion(t *testing.T) {
+	eng := sim.NewEngine(8)
+	f := NewObscurants(eng)
+	f.Add(Obscurant{Area: geo.Circle{Center: geo.Point{}, Radius: 10}, Blocks: asset.ModVisual})
+	f.Add(Obscurant{Area: geo.Circle{Center: geo.Point{}, Radius: 10}, Blocks: asset.ModThermal})
+	if got := f.BlockedAt(geo.Point{}); !got.Has(asset.ModVisual | asset.ModThermal) {
+		t.Errorf("union = %v", got)
+	}
+}

@@ -1,0 +1,69 @@
+package attack
+
+import (
+	"time"
+
+	"iobt/internal/asset"
+	"iobt/internal/mesh"
+	"iobt/internal/sim"
+)
+
+// Flood is a saturation attack: a set of adversarial sources pumps
+// traffic at a victim to exhaust its bandwidth and compute, modeling the
+// paper's concern that adversaries may "saturate processing resources,
+// starve communication, or isolate information sources" (§IV.B).
+type Flood struct {
+	eng     *sim.Engine
+	net     *mesh.Network
+	sources []asset.ID
+	victim  asset.ID
+	// RatePerSec is messages per second per source.
+	RatePerSec float64
+	// Size is bytes per message.
+	Size float64
+
+	ticker *sim.Ticker
+	sent   sim.Counter
+}
+
+// NewFlood returns an unstarted flood from sources at victim.
+func NewFlood(eng *sim.Engine, net *mesh.Network, sources []asset.ID, victim asset.ID, ratePerSec, size float64) *Flood {
+	srcs := make([]asset.ID, len(sources))
+	copy(srcs, sources)
+	return &Flood{
+		eng:        eng,
+		net:        net,
+		sources:    srcs,
+		victim:     victim,
+		RatePerSec: ratePerSec,
+		Size:       size,
+	}
+}
+
+// Sent returns the number of attack messages emitted.
+func (f *Flood) Sent() uint64 { return f.sent.Value() }
+
+// Start begins emitting attack traffic.
+func (f *Flood) Start() {
+	if f.ticker != nil || f.RatePerSec <= 0 {
+		return
+	}
+	interval := time.Duration(float64(time.Second) / f.RatePerSec)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	f.ticker = f.eng.Every(interval, "attack.flood", func() {
+		for _, src := range f.sources {
+			_ = f.net.Send(mesh.Message{From: src, To: f.victim, Size: f.Size, Kind: "attack"})
+			f.sent.Inc()
+		}
+	})
+}
+
+// Stop halts the attack.
+func (f *Flood) Stop() {
+	if f.ticker != nil {
+		f.ticker.Stop()
+		f.ticker = nil
+	}
+}

@@ -1,0 +1,269 @@
+package compose
+
+import (
+	"sort"
+
+	"iobt/internal/asset"
+)
+
+// GreedySolver composes by marginal-gain selection: repeatedly add the
+// candidate that covers the most still-uncovered cells, then top up
+// compute/bandwidth, then repair connectivity by adding bridge relays.
+// Max-coverage greedy carries the classic (1-1/e) approximation
+// guarantee, which is the "assured synthesis" story at scale.
+type GreedySolver struct{}
+
+var _ Solver = (*GreedySolver)(nil)
+
+// Solve implements Solver.
+func (GreedySolver) Solve(req Requirements, pool []Candidate) (*Composite, error) {
+	g := req.Goal
+	eligible := filterEligible(req, pool)
+	if len(eligible) == 0 {
+		return nil, ErrInfeasible
+	}
+
+	// Precompute cell coverage lists per candidate.
+	coverLists := make([][]int, len(eligible))
+	for i := range eligible {
+		for ci, cell := range req.Cells {
+			if eligible[i].covers(g, cell) {
+				coverLists[i] = append(coverLists[i], ci)
+			}
+		}
+	}
+
+	chosen := make([]bool, len(eligible))
+	cellHits := make([]int, len(req.Cells))
+	satisfied := 0
+	var members []Candidate
+
+	pick := func(i int) {
+		chosen[i] = true
+		members = append(members, eligible[i])
+		for _, ci := range coverLists[i] {
+			cellHits[ci]++
+			if cellHits[ci] == req.CellNeed {
+				satisfied++
+			}
+		}
+	}
+
+	// Phase 1: max coverage.
+	for satisfied < req.NeedCells {
+		best, bestGain := -1, 0
+		for i := range eligible {
+			if chosen[i] {
+				continue
+			}
+			gain := 0
+			for _, ci := range coverLists[i] {
+				if cellHits[ci] < req.CellNeed {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break // no candidate adds coverage; resources may still pass
+		}
+		pick(best)
+		if g.MaxMembers > 0 && len(members) >= g.MaxMembers {
+			break
+		}
+	}
+
+	// Phase 2: resource top-up (compute then bandwidth), richest first.
+	members = topUpResources(req, eligible, chosen, members, pick)
+
+	// Phase 3: connectivity repair.
+	members = repairConnectivity(eligible, chosen, members, pick)
+
+	a := Evaluate(req, members)
+	comp := &Composite{Members: ids(members), Assurance: a}
+	if !a.Feasible {
+		return comp, ErrInfeasible
+	}
+	return comp, nil
+}
+
+// filterEligible drops candidates below the trust floor.
+func filterEligible(req Requirements, pool []Candidate) []Candidate {
+	g := req.Goal
+	out := make([]Candidate, 0, len(pool))
+	for _, c := range pool {
+		if c.Trust < g.MinTrust {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// topUpResources adds candidates until compute and bandwidth demands are
+// met (or the pool is exhausted).
+func topUpResources(req Requirements, eligible []Candidate, chosen []bool, members []Candidate, pick func(int)) []Candidate {
+	g := req.Goal
+	var compute, bandwidth float64
+	for i := range members {
+		compute += members[i].Caps.Compute
+		bandwidth += members[i].Caps.Bandwidth
+	}
+	if compute >= g.Compute && bandwidth >= g.Bandwidth {
+		return members
+	}
+	order := make([]int, 0, len(eligible))
+	for i := range eligible {
+		if !chosen[i] {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca := eligible[order[a]].Caps.Compute + eligible[order[a]].Caps.Bandwidth
+		cb := eligible[order[b]].Caps.Compute + eligible[order[b]].Caps.Bandwidth
+		if ca != cb {
+			return ca > cb
+		}
+		return eligible[order[a]].ID < eligible[order[b]].ID
+	})
+	picked := len(members)
+	for _, i := range order {
+		if compute >= g.Compute && bandwidth >= g.Bandwidth {
+			break
+		}
+		if g.MaxMembers > 0 && picked >= g.MaxMembers {
+			break
+		}
+		pick(i)
+		picked++
+		compute += eligible[i].Caps.Compute
+		bandwidth += eligible[i].Caps.Bandwidth
+	}
+	return membersFrom(eligible, chosen)
+}
+
+// repairConnectivity adds unchosen candidates that bridge disconnected
+// components of the composite's radio graph, nearest-bridge first, until
+// connected or no bridge exists.
+func repairConnectivity(eligible []Candidate, chosen []bool, members []Candidate, pick func(int)) []Candidate {
+	for iter := 0; iter < len(eligible); iter++ {
+		members = membersFrom(eligible, chosen)
+		if len(members) <= 1 {
+			return members
+		}
+		comp := componentLabels(members)
+		nComp := 0
+		for _, c := range comp {
+			if c+1 > nComp {
+				nComp = c + 1
+			}
+		}
+		if nComp <= 1 {
+			return members
+		}
+		// Find the unchosen candidate that, if added, links at least two
+		// distinct components, preferring the one linking the most.
+		best, bestLinks := -1, 1
+		// Fallback: a candidate linked to one component that moves
+		// closest toward a different component (multi-node bridges are
+		// built one stepping stone at a time).
+		step, stepDist := -1, 0.0
+		for i := range eligible {
+			if chosen[i] {
+				continue
+			}
+			linked := map[int]bool{}
+			for m := range members {
+				r := minRange(eligible[i], members[m])
+				if eligible[i].Pos.Dist(members[m].Pos) <= r {
+					linked[comp[m]] = true
+				}
+			}
+			if len(linked) > bestLinks {
+				best, bestLinks = i, len(linked)
+			}
+			if len(linked) == 1 {
+				// Distance from this candidate to the nearest member of
+				// a component it is NOT linked to.
+				d := -1.0
+				for m := range members {
+					if linked[comp[m]] {
+						continue
+					}
+					if dd := eligible[i].Pos.Dist(members[m].Pos); d < 0 || dd < d {
+						d = dd
+					}
+				}
+				if d >= 0 && (step < 0 || d < stepDist) {
+					step, stepDist = i, d
+				}
+			}
+		}
+		if best < 0 {
+			best = step
+		}
+		if best < 0 {
+			return members // no bridge exists; Evaluate will flag it
+		}
+		pick(best)
+	}
+	return membersFrom(eligible, chosen)
+}
+
+func minRange(a, b Candidate) float64 {
+	r := a.Caps.RadioRange
+	if b.Caps.RadioRange < r {
+		r = b.Caps.RadioRange
+	}
+	return r
+}
+
+// componentLabels labels each member with its connected-component index.
+func componentLabels(members []Candidate) []int {
+	n := len(members)
+	adj := buildAdjacency(members)
+	label := make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if label[i] >= 0 {
+			continue
+		}
+		stack := []int{i}
+		label[i] = next
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range adj[u] {
+				if label[v] < 0 {
+					label[v] = next
+					stack = append(stack, v)
+				}
+			}
+		}
+		next++
+	}
+	return label
+}
+
+func membersFrom(eligible []Candidate, chosen []bool) []Candidate {
+	var out []Candidate
+	for i, ok := range chosen {
+		if ok {
+			out = append(out, eligible[i])
+		}
+	}
+	return out
+}
+
+func ids(members []Candidate) []asset.ID {
+	out := make([]asset.ID, len(members))
+	for i := range members {
+		out[i] = members[i].ID
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package compose
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iobt/internal/asset"
+	"iobt/internal/geo"
+	"iobt/internal/sim"
+)
+
+// randomInstance draws a random but structurally valid composition
+// instance.
+func randomInstance(seed int64) (Requirements, []Candidate) {
+	rng := sim.NewRNG(seed)
+	n := 20 + rng.Intn(60)
+	var pool []Candidate
+	for i := 0; i < n; i++ {
+		pool = append(pool, Candidate{
+			ID:  asset.ID(i),
+			Pos: geo.Point{X: rng.Uniform(0, 1000), Y: rng.Uniform(0, 1000)},
+			Caps: asset.Capabilities{
+				Modalities: asset.ModVisual,
+				SenseRange: rng.Uniform(50, 300),
+				RadioRange: rng.Uniform(100, 400),
+				Compute:    rng.Uniform(0, 200),
+				Bandwidth:  rng.Uniform(0, 1000),
+			},
+			Trust:       rng.Uniform(0, 1),
+			Affiliation: asset.Blue,
+		})
+	}
+	g := Goal{
+		Area:         geo.NewRect(geo.Point{}, geo.Point{X: 1000, Y: 1000}),
+		CoverageFrac: rng.Uniform(0.2, 0.8),
+		MinTrust:     rng.Uniform(0, 0.4),
+	}
+	return Derive(g), pool
+}
+
+// Property: Evaluate outputs are always well-formed, whatever the
+// member set.
+func TestEvaluateInvariants(t *testing.T) {
+	prop := func(seed int64, take uint8) bool {
+		req, pool := randomInstance(seed)
+		k := int(take) % (len(pool) + 1)
+		members := pool[:k]
+		a := Evaluate(req, members)
+		if a.CoverageFrac < 0 || a.CoverageFrac > 1 {
+			return false
+		}
+		if a.RiskFrac < 0 || a.RiskFrac > 1 {
+			return false
+		}
+		if a.MeanTrust < 0 || a.MeanTrust > 1 {
+			return false
+		}
+		if a.Feasible && len(a.Violations) > 0 {
+			return false
+		}
+		if !a.Feasible && len(a.Violations) == 0 {
+			return false
+		}
+		if a.EstLatency < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: whenever GreedySolver reports success, the returned
+// composite re-evaluates as feasible and respects the trust floor.
+func TestGreedySoundness(t *testing.T) {
+	prop := func(seed int64) bool {
+		req, pool := randomInstance(seed)
+		comp, err := GreedySolver{}.Solve(req, pool)
+		if err != nil {
+			return true // infeasible instances are fine
+		}
+		byID := map[asset.ID]Candidate{}
+		for _, c := range pool {
+			byID[c.ID] = c
+		}
+		var members []Candidate
+		for _, id := range comp.Members {
+			c, ok := byID[id]
+			if !ok {
+				return false // invented a member
+			}
+			if c.Trust < req.Goal.MinTrust {
+				return false // trust floor violated
+			}
+			members = append(members, c)
+		}
+		return Evaluate(req, members).Feasible
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: members never repeat in a greedy composite.
+func TestGreedyNoDuplicates(t *testing.T) {
+	prop := func(seed int64) bool {
+		req, pool := randomInstance(seed)
+		comp, err := GreedySolver{}.Solve(req, pool)
+		if err != nil {
+			return true
+		}
+		seen := map[asset.ID]bool{}
+		for _, id := range comp.Members {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package compose
+
+import (
+	"iobt/internal/sim"
+)
+
+// RandomSolver is the uninformed baseline: it draws random subsets of a
+// target size and returns the first feasible one, growing the size when
+// attempts fail. Experiment E2 uses it to show that the search space is
+// far too large for undirected sampling.
+type RandomSolver struct {
+	RNG *sim.RNG
+	// Attempts per size before growing; zero defaults to 30.
+	Attempts int
+	// StartSize is the initial subset size; zero defaults to 8.
+	StartSize int
+	// MaxSize caps subset growth; zero defaults to min(len(pool), 512).
+	MaxSize int
+}
+
+var _ Solver = (*RandomSolver)(nil)
+
+// Solve implements Solver.
+func (s RandomSolver) Solve(req Requirements, pool []Candidate) (*Composite, error) {
+	rng := s.RNG
+	if rng == nil {
+		rng = sim.NewRNG(1)
+	}
+	attempts := s.Attempts
+	if attempts <= 0 {
+		attempts = 30
+	}
+	eligible := filterEligible(req, pool)
+	if len(eligible) == 0 {
+		return nil, ErrInfeasible
+	}
+	size := s.StartSize
+	if size <= 0 {
+		size = 8
+	}
+	maxSize := s.MaxSize
+	if maxSize <= 0 {
+		maxSize = len(eligible)
+		if maxSize > 512 {
+			maxSize = 512
+		}
+	}
+	if req.Goal.MaxMembers > 0 && req.Goal.MaxMembers < maxSize {
+		maxSize = req.Goal.MaxMembers
+	}
+
+	var best *Composite
+	bestCover := -1.0
+	for ; size <= maxSize; size = grow(size) {
+		if size > len(eligible) {
+			size = len(eligible)
+		}
+		for t := 0; t < attempts; t++ {
+			perm := rng.Perm(len(eligible))
+			members := make([]Candidate, 0, size)
+			for _, idx := range perm[:size] {
+				members = append(members, eligible[idx])
+			}
+			a := Evaluate(req, members)
+			if a.Feasible {
+				return &Composite{Members: ids(members), Assurance: a}, nil
+			}
+			if a.CoverageFrac > bestCover {
+				bestCover = a.CoverageFrac
+				best = &Composite{Members: ids(members), Assurance: a}
+			}
+		}
+		if size == len(eligible) {
+			break
+		}
+	}
+	if best != nil {
+		return best, ErrInfeasible
+	}
+	return nil, ErrInfeasible
+}
+
+func grow(size int) int {
+	next := size * 3 / 2
+	if next <= size {
+		next = size + 1
+	}
+	return next
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iobt/internal/asset"
+	"iobt/internal/attack"
+	"iobt/internal/geo"
+)
+
+// TestChaosMissionInvariants injects random kill waves, jamming, smoke,
+// and churn during a mission and checks that the runtime never panics
+// and its metrics stay internally consistent, for many random seeds —
+// the paper's "disruptions and failures at different scales" as a
+// property test.
+func TestChaosMissionInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		w := NewWorld(WorldConfig{
+			Seed:    seed,
+			Terrain: geo.NewOpenTerrain(1200, 1200),
+			Assets:  250,
+			Churn:   &asset.ChurnConfig{FailRatePerMin: 0.05, ArriveRatePerMin: 5, ReviveProb: 0.5},
+		})
+		defer w.Stop()
+		m := DefaultMission(geo.NewRect(geo.Point{X: 200, Y: 200}, geo.Point{X: 1000, Y: 1000}))
+		m.Goal.CoverageFrac = 0.4
+		m.IncidentsPerMin = 40
+		if seed%2 == 0 {
+			m.Command = CommandHierarchy
+		}
+		r := NewRuntime(w, m)
+		if err := r.Synthesize(); err != nil {
+			// Some random worlds are legitimately too sparse; that is
+			// not an invariant violation.
+			return true
+		}
+		if err := r.Start(); err != nil {
+			return false
+		}
+		chaos := w.Eng.Stream("chaos")
+		// Random jamming and smoke bursts.
+		w.Jam.Add(attack.Jammer{
+			Area:      geo.Circle{Center: w.Terrain.RandomPoint(chaos), Radius: chaos.Uniform(100, 500)},
+			Intensity: chaos.Uniform(0.3, 1),
+			From:      30 * time.Second,
+			Until:     90 * time.Second,
+		})
+		w.Smoke.Add(attack.Obscurant{
+			Area:   geo.Circle{Center: w.Terrain.RandomPoint(chaos), Radius: chaos.Uniform(100, 400)},
+			Blocks: asset.ModVisual,
+			From:   time.Minute,
+		})
+		// A kill wave against the composite.
+		w.Eng.Schedule(45*time.Second, "chaos.kill", func() {
+			for i, id := range r.Composite().Members {
+				if i%3 == 0 {
+					w.Pop.Kill(id)
+				}
+			}
+			w.Net.Refresh()
+		})
+		if err := w.Run(3 * time.Minute); err != nil {
+			return false
+		}
+		r.Stop()
+
+		met := &r.Metrics
+		// Invariants: counts are consistent and rates bounded.
+		if met.Detected.Value() > met.Incidents.Value() {
+			return false
+		}
+		if met.OnTime.Value() > met.Acted.Value() {
+			return false
+		}
+		if met.Acted.Value() > met.Detected.Value() {
+			return false
+		}
+		if met.DecisionLatency.N() != int(met.Acted.Value()) {
+			return false
+		}
+		if s := met.SuccessRate(); s < 0 || s > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

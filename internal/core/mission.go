@@ -1,0 +1,103 @@
+package core
+
+import (
+	"time"
+
+	"iobt/internal/compose"
+	"iobt/internal/geo"
+)
+
+// CommandModel selects how battlefield decisions are authorized.
+type CommandModel int
+
+// Command models.
+const (
+	// CommandHierarchy routes every decision to the command post and
+	// back, paying per-level staffing delays — the paper's "strict
+	// hierarchical structure" whose authorizations "must arrive through
+	// an appropriate chain of command".
+	CommandHierarchy CommandModel = iota + 1
+	// CommandIntent lets the detecting asset act on commander's intent
+	// after a brief local deliberation — "empowers subordinate units to
+	// exercise more initiative and autonomy".
+	CommandIntent
+)
+
+// String names the command model.
+func (c CommandModel) String() string {
+	switch c {
+	case CommandHierarchy:
+		return "hierarchy"
+	case CommandIntent:
+		return "intent"
+	default:
+		return "unknown"
+	}
+}
+
+// Mission is a commander's tasking.
+type Mission struct {
+	// Goal is the declarative synthesis goal (area, modalities,
+	// coverage, resources).
+	Goal compose.Goal
+	// Command selects the decision-authorization model.
+	Command CommandModel
+	// HierarchyLevels is the chain-of-command depth (hierarchy only).
+	HierarchyLevels int
+	// ReliableOrders routes hierarchy reports and orders over the ARQ
+	// layer instead of best-effort delivery: fewer decisions lost to
+	// channel loss, at added latency and airtime.
+	ReliableOrders bool
+	// ApprovalPerLevel is the staffing delay added at each echelon.
+	// Zero defaults to 2s.
+	ApprovalPerLevel time.Duration
+	// LocalDeliberation is the on-asset decision time under intent.
+	// Zero defaults to 200ms.
+	LocalDeliberation time.Duration
+
+	// IncidentsPerMin is the battlefield event rate.
+	IncidentsPerMin float64
+	// IncidentDeadline is how long an incident stays actionable.
+	// Zero defaults to 30s.
+	IncidentDeadline time.Duration
+}
+
+// DefaultMission returns an evacuation-style mission over the given
+// area: visual+thermal coverage with modest compute.
+func DefaultMission(area geo.Rect) Mission {
+	return Mission{
+		Goal: compose.Goal{
+			Name:         "evacuation",
+			Area:         area,
+			Modalities:   0, // any modality may detect incidents
+			CoverageFrac: 0.7,
+			PerHop:       5 * time.Millisecond,
+		},
+		Command:           CommandIntent,
+		HierarchyLevels:   3,
+		ApprovalPerLevel:  2 * time.Second,
+		LocalDeliberation: 200 * time.Millisecond,
+		IncidentsPerMin:   6,
+		IncidentDeadline:  30 * time.Second,
+	}
+}
+
+// normalized fills mission defaults.
+func (m Mission) normalized() Mission {
+	if m.ApprovalPerLevel <= 0 {
+		m.ApprovalPerLevel = 2 * time.Second
+	}
+	if m.LocalDeliberation <= 0 {
+		m.LocalDeliberation = 200 * time.Millisecond
+	}
+	if m.IncidentDeadline <= 0 {
+		m.IncidentDeadline = 30 * time.Second
+	}
+	if m.HierarchyLevels < 1 {
+		m.HierarchyLevels = 1
+	}
+	if m.IncidentsPerMin <= 0 {
+		m.IncidentsPerMin = 6
+	}
+	return m
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"iobt/internal/adapt"
+	"iobt/internal/asset"
+	"iobt/internal/compose"
+	"iobt/internal/geo"
+	"iobt/internal/mesh"
+	"iobt/internal/sim"
+)
+
+// Metrics collects mission outcomes.
+type Metrics struct {
+	// Incidents counts generated battlefield events.
+	Incidents sim.Counter
+	// Detected counts incidents seen by some composite member.
+	Detected sim.Counter
+	// Acted counts incidents that received an authorized action.
+	Acted sim.Counter
+	// OnTime counts actions completed before the incident deadline.
+	OnTime sim.Counter
+	// DecisionLatency records detection-to-action seconds.
+	DecisionLatency sim.Series
+	// Repairs counts composite re-synthesis events.
+	Repairs sim.Counter
+	// RepairTime records seconds from coverage violation to repair.
+	RepairTime sim.Series
+}
+
+// SuccessRate returns OnTime/Incidents.
+func (m *Metrics) SuccessRate() float64 {
+	if m.Incidents.Value() == 0 {
+		return 0
+	}
+	return float64(m.OnTime.Value()) / float64(m.Incidents.Value())
+}
+
+// DetectionRate returns Detected/Incidents.
+func (m *Metrics) DetectionRate() float64 {
+	if m.Incidents.Value() == 0 {
+		return 0
+	}
+	return float64(m.Detected.Value()) / float64(m.Incidents.Value())
+}
+
+// Runtime executes one mission on a world.
+type Runtime struct {
+	W       *World
+	Mission Mission
+	Metrics Metrics
+
+	comp      *compose.Composite
+	members   map[asset.ID]bool
+	sink      asset.ID
+	req       compose.Requirements
+	rng       *sim.RNG
+	gen       *sim.Ticker
+	healthMon *adapt.Monitor
+	nextIncID int
+	rel       *mesh.Reliable
+}
+
+// ErrSynthesisFailed wraps composition failure at mission start.
+var ErrSynthesisFailed = errors.New("core: mission synthesis failed")
+
+// NewRuntime prepares (but does not start) a mission runtime.
+func NewRuntime(w *World, m Mission) *Runtime {
+	return &Runtime{
+		W:       w,
+		Mission: m.normalized(),
+		rng:     w.Eng.Stream("runtime"),
+		members: make(map[asset.ID]bool),
+	}
+}
+
+// Synthesize performs Challenge-1 composition: build the candidate pool
+// (trust-aware), derive requirements from the goal, and solve greedily.
+func (r *Runtime) Synthesize() error {
+	r.req = compose.Derive(r.Mission.Goal)
+	pool := compose.PoolFromPopulation(r.W.Pop, r.W.Trust)
+	comp, err := compose.GreedySolver{}.Solve(r.req, pool)
+	if err != nil {
+		if comp != nil {
+			return fmt.Errorf("%w: %v", ErrSynthesisFailed, comp.Assurance.Violations)
+		}
+		return ErrSynthesisFailed
+	}
+	r.install(comp)
+	r.sink = r.W.PickCommandPost()
+	return nil
+}
+
+func (r *Runtime) install(comp *compose.Composite) {
+	r.comp = comp
+	for id := range r.members {
+		delete(r.members, id)
+	}
+	for _, id := range comp.Members {
+		r.members[id] = true
+	}
+}
+
+// Composite returns the current composite (nil before Synthesize).
+func (r *Runtime) Composite() *compose.Composite { return r.comp }
+
+// Start begins incident generation and the coverage reflex monitor.
+// Synthesize must have succeeded.
+func (r *Runtime) Start() error {
+	if r.comp == nil {
+		return ErrSynthesisFailed
+	}
+	if r.Mission.ReliableOrders {
+		r.rel = mesh.NewReliable(r.W.Eng, r.W.Net)
+	}
+	interval := time.Duration(float64(time.Minute) / r.Mission.IncidentsPerMin)
+	r.gen = r.W.Eng.Every(interval, "core.incident", r.incident)
+	r.healthMon = adapt.NewMonitor(r.W.Eng, "coverage",
+		r.coverageHolds,
+		r.repair,
+	)
+	r.healthMon.Start(5 * time.Second)
+	return nil
+}
+
+// Stop halts mission processes.
+func (r *Runtime) Stop() {
+	if r.gen != nil {
+		r.gen.Stop()
+		r.gen = nil
+	}
+	if r.healthMon != nil {
+		r.healthMon.Stop()
+		r.healthMon = nil
+	}
+}
+
+// coverageHolds re-evaluates the composite assurance against current
+// positions and liveness.
+func (r *Runtime) coverageHolds() bool {
+	members := r.liveMembers()
+	a := compose.Evaluate(r.req, members)
+	needFrac := float64(r.req.NeedCells) / float64(maxi(len(r.req.Cells), 1))
+	return a.CoverageFrac+1e-9 >= needFrac
+}
+
+// repair is the reflex: incremental re-composition around failed
+// members (paper: "re-assemble ... upon damage ... within an
+// appropriately short time").
+func (r *Runtime) repair() {
+	start := r.W.Eng.Now()
+	failed := map[asset.ID]bool{}
+	for id := range r.members {
+		a := r.W.Pop.Get(id)
+		if a == nil || !a.Alive() {
+			failed[id] = true
+		}
+	}
+	pool := compose.PoolFromPopulation(r.W.Pop, r.W.Trust)
+	comp, err := compose.Recompose(r.req, r.comp, failed, pool)
+	if err != nil {
+		return // pool exhausted; keep limping
+	}
+	r.install(comp)
+	r.Metrics.Repairs.Inc()
+	r.Metrics.RepairTime.AddDuration(r.W.Eng.Now() - start)
+}
+
+// liveMembers materializes current member candidates with live
+// positions.
+func (r *Runtime) liveMembers() []compose.Candidate {
+	var out []compose.Candidate
+	for id := range r.members {
+		a := r.W.Pop.Get(id)
+		if a == nil || !a.Alive() {
+			continue
+		}
+		out = append(out, compose.Candidate{
+			ID: id, Pos: a.Pos(), Caps: a.Caps,
+			Trust: r.W.Trust.Score(id), Affiliation: a.Affiliation,
+		})
+	}
+	return out
+}
+
+// incident generates one battlefield event and drives the decision loop.
+func (r *Runtime) incident() {
+	r.Metrics.Incidents.Inc()
+	r.nextIncID++
+	pos := geo.Point{
+		X: r.rng.Uniform(r.Mission.Goal.Area.Min.X, r.Mission.Goal.Area.Max.X),
+		Y: r.rng.Uniform(r.Mission.Goal.Area.Min.Y, r.Mission.Goal.Area.Max.Y),
+	}
+	deadline := r.W.Eng.Now() + r.Mission.IncidentDeadline
+
+	detector := r.nearestDetector(pos)
+	if detector == asset.None {
+		return // coverage gap: incident missed
+	}
+	r.Metrics.Detected.Inc()
+	detectedAt := r.W.Eng.Now()
+
+	complete := func() {
+		now := r.W.Eng.Now()
+		r.Metrics.Acted.Inc()
+		r.Metrics.DecisionLatency.AddDuration(now - detectedAt)
+		if now <= deadline {
+			r.Metrics.OnTime.Inc()
+		}
+	}
+
+	switch r.Mission.Command {
+	case CommandIntent:
+		// Subordinate initiative: deliberate locally, act.
+		r.W.Eng.Schedule(r.Mission.LocalDeliberation, "core.intent-act", complete)
+	default:
+		r.hierarchyLoop(detector, complete)
+	}
+}
+
+// hierarchyLoop routes the report to the command post, pays per-level
+// approval, and routes the order back.
+func (r *Runtime) hierarchyLoop(detector asset.ID, complete func()) {
+	sink := r.sink
+	if sink == asset.None {
+		return
+	}
+	incID := r.nextIncID
+	msg := mesh.Message{
+		From: detector, To: sink, Size: 2000, Kind: "report",
+		Payload: reportPayload{incID: incID, detector: detector, complete: complete},
+	}
+	if r.rel != nil {
+		r.rel.Register(sink, r.sinkHandler(sink))
+		r.rel.Register(detector, r.detectorHandler(detector))
+		r.rel.Send(msg, nil, nil)
+		return
+	}
+	r.W.Net.RegisterHandler(sink, r.sinkHandler(sink))
+	r.W.Net.RegisterHandler(detector, r.detectorHandler(detector))
+	if err := r.W.Net.Send(msg); err != nil {
+		// Command post unreachable: the hierarchy cannot authorize.
+		return
+	}
+}
+
+type reportPayload struct {
+	incID    int
+	detector asset.ID
+	complete func()
+}
+
+type orderPayload struct {
+	incID    int
+	complete func()
+}
+
+// sinkHandler processes reports at the command post: pay the staffing
+// delay for each echelon, then send the order back.
+func (r *Runtime) sinkHandler(sink asset.ID) mesh.Handler {
+	return func(msg mesh.Message) {
+		if msg.Kind != "report" {
+			return
+		}
+		p, ok := msg.Payload.(reportPayload)
+		if !ok {
+			return
+		}
+		delay := time.Duration(r.Mission.HierarchyLevels) * r.Mission.ApprovalPerLevel
+		r.W.Eng.Schedule(delay, "core.approve", func() {
+			order := mesh.Message{
+				From: sink, To: p.detector, Size: 500, Kind: "order",
+				Payload: orderPayload{incID: p.incID, complete: p.complete},
+			}
+			if r.rel != nil {
+				r.rel.Send(order, nil, nil)
+				return
+			}
+			_ = r.W.Net.Send(order)
+		})
+	}
+}
+
+// detectorHandler executes orders arriving back at the detector.
+func (r *Runtime) detectorHandler(asset.ID) mesh.Handler {
+	return func(msg mesh.Message) {
+		if msg.Kind != "order" {
+			return
+		}
+		p, ok := msg.Payload.(orderPayload)
+		if !ok {
+			return
+		}
+		p.complete()
+	}
+}
+
+// nearestDetector returns the closest live composite member that can
+// sense the position, or None. Environmental obscurants (smoke) mask a
+// member's blocked modalities, so an all-visual composite goes blind
+// inside a smoke field while a modality-diverse one keeps detecting —
+// the paper's seismic-for-visual substitution, live.
+func (r *Runtime) nearestDetector(pos geo.Point) asset.ID {
+	best := asset.None
+	bestD := 0.0
+	mods := r.Mission.Goal.Modalities
+	blocked := r.W.Smoke.BlockedAt(pos)
+	for id := range r.members {
+		a := r.W.Pop.Get(id)
+		if a == nil || !a.Alive() {
+			continue
+		}
+		effective := a.Caps.Modalities &^ blocked
+		if effective == 0 {
+			continue // everything this member senses with is obscured
+		}
+		if mods != 0 && effective&mods == 0 {
+			continue
+		}
+		d := a.Pos().Dist(pos)
+		if d > a.Caps.SenseRange {
+			continue
+		}
+		if best == asset.None || d < bestD {
+			best, bestD = id, d
+		}
+	}
+	return best
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

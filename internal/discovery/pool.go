@@ -1,0 +1,52 @@
+package discovery
+
+import (
+	"iobt/internal/asset"
+	"iobt/internal/compose"
+	"iobt/internal/trust"
+)
+
+// CandidatePool converts the discovery directory into a composition
+// candidate pool — the recruitment hand-off of Figure 2. Unlike
+// compose.PoolFromPopulation (ground truth, used for oracle baselines),
+// this pool contains only what discovery actually knows:
+//
+//   - only nodes present in the directory (undiscovered assets cannot
+//     be recruited);
+//   - nodes classified red are excluded;
+//   - capability vectors are the *estimated* class's defaults, so a
+//     fingerprinting error propagates into composition exactly as it
+//     would in the field;
+//   - trust comes from the ledger (prior 0.5 when absent).
+//
+// The position is read from the live asset (responders are assumed to
+// report their location; mobility between scans is the directory
+// staleness the ExpireAfter horizon bounds).
+func (s *Service) CandidatePool(ledger *trust.Ledger) []compose.Candidate {
+	var out []compose.Candidate
+	for _, rec := range s.Directory() {
+		if rec.EstAffiliation == asset.Red {
+			continue
+		}
+		a := s.pop.Get(rec.ID)
+		if a == nil || !a.Alive() {
+			continue
+		}
+		class := rec.EstClass
+		if class == 0 {
+			continue // nothing known about capabilities yet
+		}
+		tr := 0.5
+		if ledger != nil {
+			tr = ledger.Score(rec.ID)
+		}
+		out = append(out, compose.Candidate{
+			ID:          rec.ID,
+			Pos:         a.Pos(),
+			Caps:        asset.DefaultCaps(class),
+			Trust:       tr,
+			Affiliation: rec.EstAffiliation,
+		})
+	}
+	return out
+}

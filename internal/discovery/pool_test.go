@@ -1,0 +1,139 @@
+package discovery
+
+import (
+	"testing"
+	"time"
+
+	"iobt/internal/asset"
+	"iobt/internal/compose"
+	"iobt/internal/geo"
+	"iobt/internal/sim"
+	"iobt/internal/trust"
+)
+
+func TestCandidatePoolExcludesRedAndUnknown(t *testing.T) {
+	eng, pop, sc := clusterWorld(t, 21, 10, 5, 8, 1.0)
+	cfg := DefaultConfig()
+	cfg.Scanners = []asset.ID{sc}
+	s := New(eng, pop, nil, cfg)
+	runScans(eng, s, 20)
+
+	pool := s.CandidatePool(nil)
+	if len(pool) == 0 {
+		t.Fatal("empty candidate pool after discovery")
+	}
+	for _, c := range pool {
+		if c.Affiliation == asset.Red {
+			t.Errorf("red-classified node %d in pool", c.ID)
+		}
+		truth := pop.Get(c.ID)
+		if truth.Affiliation == asset.Red && !truth.Compromised {
+			// A red node sneaking in means it fooled classification —
+			// possible but should be rare with side channels on.
+			t.Logf("note: red node %d evaded classification", c.ID)
+		}
+		if c.Trust != 0.5 {
+			t.Errorf("nil ledger trust = %v", c.Trust)
+		}
+	}
+}
+
+func TestCandidatePoolUsesLedger(t *testing.T) {
+	eng, pop, sc := clusterWorld(t, 22, 5, 0, 0, 1.0)
+	ledger := trust.NewLedger()
+	cfg := DefaultConfig()
+	cfg.Scanners = []asset.ID{sc}
+	s := New(eng, pop, ledger, cfg)
+	runScans(eng, s, 10)
+	pool := s.CandidatePool(ledger)
+	for _, c := range pool {
+		if c.Trust <= 0.5 {
+			t.Errorf("discovered blue node %d trust = %v, want raised by EvDiscovery", c.ID, c.Trust)
+		}
+	}
+}
+
+func TestCandidatePoolSkipsDead(t *testing.T) {
+	eng, pop, sc := clusterWorld(t, 23, 5, 0, 0, 1.0)
+	cfg := DefaultConfig()
+	cfg.Scanners = []asset.ID{sc}
+	s := New(eng, pop, nil, cfg)
+	runScans(eng, s, 5)
+	// Kill one discovered node after discovery.
+	var victim asset.ID = asset.None
+	for _, rec := range s.Directory() {
+		victim = rec.ID
+		break
+	}
+	if victim == asset.None {
+		t.Fatal("nothing discovered")
+	}
+	pop.Kill(victim)
+	for _, c := range s.CandidatePool(nil) {
+		if c.ID == victim {
+			t.Error("dead node still recruitable")
+		}
+	}
+}
+
+// TestDiscoveryToCompositionPipeline is the Figure-2 integration test:
+// scan, recruit from the directory, compose, and verify the composite's
+// assurance against ground truth.
+func TestDiscoveryToCompositionPipeline(t *testing.T) {
+	// A sensor-post world (150 m sensing, 250 m radio) so the discovered
+	// pool can form a connected covering composite.
+	eng := sim.NewEngine(24)
+	terr := geo.NewOpenTerrain(1000, 1000)
+	pop := asset.NewPopulation(terr)
+	rng := eng.Stream("place")
+	scaps := asset.DefaultCaps(asset.ClassSensor)
+	scaps.RadioRange = 700
+	scanner := &asset.Asset{Affiliation: asset.Blue, Class: asset.ClassSensor, Caps: scaps,
+		Online: true, DutyCycle: 1, Mobility: &geo.Static{P: geo.Point{X: 500, Y: 500}}}
+	scanner.Energy = scaps.EnergyCap
+	sc := pop.Add(scanner)
+	addCluster := func(n int, aff asset.Affiliation) {
+		for i := 0; i < n; i++ {
+			a := &asset.Asset{Affiliation: aff, Class: asset.ClassSensor,
+				Caps: asset.DefaultCaps(asset.ClassSensor), Online: true, DutyCycle: 1,
+				Emission: 0.6,
+				Mobility: &geo.Static{P: geo.Point{X: rng.Uniform(300, 700), Y: rng.Uniform(300, 700)}}}
+			a.Energy = a.Caps.EnergyCap
+			pop.Add(a)
+		}
+	}
+	addCluster(30, asset.Blue)
+	addCluster(5, asset.Red)
+	ledger := trust.NewLedger()
+	cfg := DefaultConfig()
+	cfg.Scanners = []asset.ID{sc}
+	s := New(eng, pop, ledger, cfg)
+	s.Start()
+	_ = eng.Run(time.Minute)
+	s.Stop()
+
+	goal := compose.Goal{
+		Area:         geo.NewRect(geo.Point{X: 300, Y: 300}, geo.Point{X: 700, Y: 700}),
+		CoverageFrac: 0.6,
+	}
+	req := compose.Derive(goal)
+	pool := s.CandidatePool(ledger)
+	comp, err := compose.GreedySolver{}.Solve(req, pool)
+	if err != nil {
+		t.Fatalf("composition from discovered pool: %v", err)
+	}
+	// Every recruited member must be a real, alive, non-red asset.
+	for _, id := range comp.Members {
+		a := pop.Get(id)
+		if a == nil || !a.Alive() {
+			t.Errorf("member %d is dead or missing", id)
+			continue
+		}
+		if a.Affiliation == asset.Red && !a.Compromised {
+			t.Errorf("overt red asset %d recruited", id)
+		}
+	}
+	if !comp.Assurance.Feasible {
+		t.Errorf("composite infeasible: %v", comp.Assurance.Violations)
+	}
+}

@@ -1,0 +1,102 @@
+package discovery
+
+import (
+	"sort"
+
+	"iobt/internal/asset"
+)
+
+// SybilGroup is a cluster of directory entries suspected to be forged
+// identities on one physical radio: co-located, near-identical emission
+// signatures, appearing together.
+type SybilGroup struct {
+	Members []asset.ID
+}
+
+// DetectSybils scans the directory for Sybil clusters (paper §III.A:
+// impersonation attacks are a named threat to discovery): groups of at
+// least minSize entries whose observed positions sit within radius
+// meters of each other AND whose side-channel emission estimates agree
+// within emissionTol. Distinct physical devices in a crowd share
+// location but not emission fingerprints; software identities on one
+// radio share both.
+func (s *Service) DetectSybils(minSize int, radius, emissionTol float64) []SybilGroup {
+	if minSize < 2 {
+		minSize = 3
+	}
+	if radius <= 0 {
+		radius = 15
+	}
+	if emissionTol <= 0 {
+		emissionTol = 0.08
+	}
+	recs := s.Directory()
+	// Only entries with a side-channel fingerprint can be clustered.
+	var cands []*Record
+	for _, r := range recs {
+		if r.EmissionEst > 0 {
+			cands = append(cands, r)
+		}
+	}
+	// Union-find over pairs that match both criteria.
+	parent := make([]int, len(cands))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := 0; i < len(cands); i++ {
+		ai := s.pop.Get(cands[i].ID)
+		if ai == nil {
+			continue
+		}
+		for j := i + 1; j < len(cands); j++ {
+			aj := s.pop.Get(cands[j].ID)
+			if aj == nil {
+				continue
+			}
+			if ai.Pos().Dist(aj.Pos()) > radius {
+				continue
+			}
+			de := cands[i].EmissionEst - cands[j].EmissionEst
+			if de < 0 {
+				de = -de
+			}
+			if de <= emissionTol {
+				union(i, j)
+			}
+		}
+	}
+	groups := map[int][]asset.ID{}
+	for i := range cands {
+		r := find(i)
+		groups[r] = append(groups[r], cands[i].ID)
+	}
+	var out []SybilGroup
+	for _, members := range groups {
+		if len(members) < minSize {
+			continue
+		}
+		sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+		out = append(out, SybilGroup{Members: members})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].Members) != len(out[b].Members) {
+			return len(out[a].Members) > len(out[b].Members)
+		}
+		return out[a].Members[0] < out[b].Members[0]
+	})
+	return out
+}

@@ -1,0 +1,107 @@
+package discovery
+
+import (
+	"testing"
+	"time"
+
+	"iobt/internal/asset"
+	"iobt/internal/attack"
+	"iobt/internal/geo"
+	"iobt/internal/sim"
+)
+
+// sybilWorld builds a scanner, scattered honest phones, and one red host
+// with forged identities.
+func sybilWorld(t *testing.T, nSybils int) (*sim.Engine, *asset.Population, asset.ID, []asset.ID) {
+	t.Helper()
+	eng := sim.NewEngine(51)
+	terr := geo.NewOpenTerrain(1000, 1000)
+	pop := asset.NewPopulation(terr)
+	rng := eng.Stream("place")
+
+	caps := asset.DefaultCaps(asset.ClassSensor)
+	caps.RadioRange = 700
+	scanner := &asset.Asset{Affiliation: asset.Blue, Class: asset.ClassSensor, Caps: caps,
+		Online: true, DutyCycle: 1, Mobility: &geo.Static{P: geo.Point{X: 500, Y: 500}}}
+	scanner.Energy = caps.EnergyCap
+	sc := pop.Add(scanner)
+
+	// Honest gray phones scattered widely with diverse emissions.
+	for i := 0; i < 25; i++ {
+		a := &asset.Asset{Affiliation: asset.Gray, Class: asset.ClassPhone,
+			Caps: asset.DefaultCaps(asset.ClassPhone), Online: true, DutyCycle: 1,
+			Emission: rng.Uniform(0.3, 1.0),
+			Mobility: &geo.Static{P: geo.Point{X: rng.Uniform(200, 800), Y: rng.Uniform(200, 800)}}}
+		a.Energy = a.Caps.EnergyCap
+		pop.Add(a)
+	}
+	// One red host carrying Sybil identities.
+	host := &asset.Asset{Affiliation: asset.Red, Class: asset.ClassPhone,
+		Caps: asset.DefaultCaps(asset.ClassPhone), Online: true, DutyCycle: 1,
+		Emission: 0.75, Mobility: &geo.Static{P: geo.Point{X: 400, Y: 400}}}
+	host.Energy = host.Caps.EnergyCap
+	hid := pop.Add(host)
+	sybils := attack.Sybil(pop, hid, nSybils, rng)
+	return eng, pop, sc, append(sybils, hid)
+}
+
+func TestDetectSybilsFindsForgedCluster(t *testing.T) {
+	eng, pop, sc, sybilIDs := sybilWorld(t, 5)
+	cfg := DefaultConfig()
+	cfg.Scanners = []asset.ID{sc}
+	s := New(eng, pop, nil, cfg)
+	for i := 0; i < 25; i++ {
+		eng.Schedule(time.Duration(i)*2*time.Second, "scan", s.Scan)
+	}
+	_ = eng.Run(0)
+
+	groups := s.DetectSybils(3, 15, 0.12)
+	if len(groups) == 0 {
+		t.Fatal("no Sybil group detected")
+	}
+	// The largest group should consist of the sybils (+host).
+	g := groups[0]
+	sybilSet := map[asset.ID]bool{}
+	for _, id := range sybilIDs {
+		sybilSet[id] = true
+	}
+	hits := 0
+	for _, id := range g.Members {
+		if sybilSet[id] {
+			hits++
+		} else {
+			t.Errorf("honest node %d clustered as Sybil", id)
+		}
+	}
+	if hits < 4 {
+		t.Errorf("group captured only %d of %d forged identities", hits, len(sybilIDs))
+	}
+}
+
+func TestDetectSybilsCleanWorld(t *testing.T) {
+	eng, pop, sc, _ := sybilWorld(t, 0) // host exists but has no sybils
+	cfg := DefaultConfig()
+	cfg.Scanners = []asset.ID{sc}
+	s := New(eng, pop, nil, cfg)
+	for i := 0; i < 20; i++ {
+		eng.Schedule(time.Duration(i)*2*time.Second, "scan", s.Scan)
+	}
+	_ = eng.Run(0)
+	groups := s.DetectSybils(3, 15, 0.12)
+	if len(groups) != 0 {
+		t.Errorf("clean world produced Sybil groups: %v", groups)
+	}
+}
+
+func TestDetectSybilsDefaults(t *testing.T) {
+	eng, pop, sc, _ := sybilWorld(t, 4)
+	cfg := DefaultConfig()
+	cfg.Scanners = []asset.ID{sc}
+	s := New(eng, pop, nil, cfg)
+	for i := 0; i < 20; i++ {
+		eng.Schedule(time.Duration(i)*2*time.Second, "scan", s.Scan)
+	}
+	_ = eng.Run(0)
+	// Zero/invalid parameters fall back to defaults without panicking.
+	_ = s.DetectSybils(0, 0, 0)
+}

@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"iobt/internal/adapt"
+	"iobt/internal/asset"
+	"iobt/internal/compose"
+	"iobt/internal/core"
+	"iobt/internal/geo"
+	"iobt/internal/mesh"
+	"iobt/internal/sim"
+)
+
+// E1DecisionLoop reproduces the paper's motivating claim (§I, Figure 1):
+// command-by-intent shortens the decision loop relative to hierarchical
+// authorization, and the gap widens with hierarchy depth.
+func E1DecisionLoop(seed int64, quick bool) *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "decision-loop latency and mission success by command model",
+		Header: []string{"command", "levels", "p50 latency (s)", "p90 latency (s)", "success", "detected"},
+		Notes: "intent >=2x lower median latency than 3-level hierarchy; latency grows with depth; ARQ-backed " +
+			"orders convert channel losses into successes at a small latency premium",
+	}
+	horizon := 6 * time.Minute
+	assets := 400
+	if quick {
+		horizon = 2 * time.Minute
+		assets = 250
+	}
+	type cfg struct {
+		cmd      core.CommandModel
+		levels   int
+		reliable bool
+	}
+	cases := []cfg{
+		{core.CommandIntent, 0, false},
+		{core.CommandHierarchy, 1, false},
+		{core.CommandHierarchy, 2, false},
+		{core.CommandHierarchy, 3, false},
+		{core.CommandHierarchy, 4, false},
+		{core.CommandHierarchy, 3, true}, // ablation: ARQ-backed orders
+	}
+	for _, c := range cases {
+		w := core.NewWorld(core.WorldConfig{
+			Seed:    seed,
+			Terrain: geo.NewOpenTerrain(1500, 1500),
+			Assets:  assets,
+		})
+		m := core.DefaultMission(geo.NewRect(geo.Point{X: 300, Y: 300}, geo.Point{X: 1200, Y: 1200}))
+		m.Goal.CoverageFrac = 0.5
+		m.Command = c.cmd
+		m.HierarchyLevels = c.levels
+		m.ReliableOrders = c.reliable
+		m.IncidentsPerMin = 30
+		r := core.NewRuntime(w, m)
+		if err := r.Synthesize(); err != nil {
+			w.Stop()
+			t.AddRow(c.cmd.String(), d(c.levels), "synthesis failed", "", "", "")
+			continue
+		}
+		if err := r.Start(); err != nil {
+			w.Stop()
+			continue
+		}
+		_ = w.Run(horizon)
+		r.Stop()
+		w.Stop()
+		label := c.cmd.String()
+		if c.reliable {
+			label += "+arq"
+		}
+		t.AddRow(label, d(c.levels),
+			f2(r.Metrics.DecisionLatency.Percentile(50)),
+			f2(r.Metrics.DecisionLatency.Percentile(90)),
+			f2(r.Metrics.SuccessRate()),
+			f2(r.Metrics.DetectionRate()))
+	}
+	return t
+}
+
+// E2Composition reproduces §III (Figure 2): composite assets of
+// 1,000s-10,000s of nodes assembled on demand, with solver quality and
+// cost compared, and incremental re-composition under damage.
+func E2Composition(seed int64, quick bool) *Table {
+	t := &Table{
+		ID:     "E2",
+		Title:  "composition time and quality by solver and scale",
+		Header: []string{"assets", "solver", "wall ms", "members", "coverage", "feasible"},
+		Notes:  "greedy scales to 10k nodes well under a minute; random fails hard instances; repair << full solve",
+	}
+	sizes := []int{1000, 3000, 10000}
+	if quick {
+		sizes = []int{300, 1000}
+	}
+	for _, n := range sizes {
+		terr := geo.NewUrbanTerrain(3000, 3000, 100)
+		rng := sim.NewRNG(seed)
+		pop := asset.Generate(terr, asset.DefaultMix(n), rng)
+		goal := compose.Goal{
+			Name:         "surveil",
+			Area:         geo.NewRect(geo.Point{X: 200, Y: 200}, geo.Point{X: 2800, Y: 2800}),
+			CoverageFrac: 0.6,
+			Compute:      2000,
+		}
+		req := compose.Derive(goal)
+		pool := compose.PoolFromPopulation(pop, nil)
+
+		solvers := []struct {
+			name string
+			s    compose.Solver
+		}{
+			{"greedy", compose.GreedySolver{}},
+			{"random", compose.RandomSolver{RNG: rng.Derive("rand"), Attempts: 20}},
+		}
+		if n <= 300 {
+			solvers = append(solvers, struct {
+				name string
+				s    compose.Solver
+			}{"csp", compose.CSPSolver{MaxNodes: 100000, MaxSize: 10}})
+		}
+		for _, sv := range solvers {
+			start := nowMS()
+			comp, err := sv.s.Solve(req, pool)
+			elapsed := nowMS() - start
+			feasible := err == nil
+			members, coverage := 0, 0.0
+			if comp != nil {
+				members = len(comp.Members)
+				coverage = comp.Assurance.CoverageFrac
+			}
+			t.AddRow(d(n), sv.name, f0(elapsed), d(members), f2(coverage), boolStr(feasible))
+		}
+		// Damage + incremental repair vs full re-solve.
+		comp, err := compose.GreedySolver{}.Solve(req, pool)
+		if err == nil {
+			failed := map[asset.ID]bool{}
+			for i, id := range comp.Members {
+				if i%5 == 0 { // 20% losses
+					failed[id] = true
+				}
+			}
+			var survivors []compose.Candidate
+			for _, c := range pool {
+				if !failed[c.ID] {
+					survivors = append(survivors, c)
+				}
+			}
+			start := nowMS()
+			_, rerr := compose.Recompose(req, comp, failed, survivors)
+			repairMS := nowMS() - start
+			start = nowMS()
+			_, ferr := compose.GreedySolver{}.Solve(req, survivors)
+			fullMS := nowMS() - start
+			t.AddRow(d(n), "repair-20%", f0(repairMS), "", "", boolStr(rerr == nil))
+			t.AddRow(d(n), "full-resolve", f0(fullMS), "", "", boolStr(ferr == nil))
+		}
+	}
+	return t
+}
+
+// E3Discovery reproduces §III.A: probing alone misses intermittently
+// connected and adversarial assets; passive fingerprinting and
+// side-channel detection close the gap.
+func E3Discovery(seed int64, quick bool) *Table {
+	t := &Table{
+		ID:     "E3",
+		Title:  "discovery recall and red-node identification by method and duty cycle",
+		Header: []string{"duty", "methods", "recall", "class acc", "red recall", "red precision"},
+		Notes: "probe-only recall collapses at low duty cycle and never sees silent red nodes; side channels give " +
+			"near-perfect red identification at moderate duty cycles, degrading at extreme duty cycling (sleepy " +
+			"blue motes become indistinguishable from deliberate silence — the paper's intermittency challenge)",
+	}
+	rounds := 25
+	if quick {
+		rounds = 12
+	}
+	for _, duty := range []float64{1.0, 0.5, 0.2, 0.1} {
+		for _, mm := range []struct {
+			name  string
+			flags int
+		}{
+			{"probe", 1},
+			{"probe+passive+sidechan", 7},
+		} {
+			eng := sim.NewEngine(seed)
+			terr := geo.NewOpenTerrain(1000, 1000)
+			pop := asset.NewPopulation(terr)
+			rng := eng.Stream("place")
+			caps := asset.DefaultCaps(asset.ClassSensor)
+			caps.RadioRange = 700
+			scanner := &asset.Asset{Affiliation: asset.Blue, Class: asset.ClassSensor,
+				Caps: caps, Online: true, DutyCycle: 1,
+				Mobility: &geo.Static{P: geo.Point{X: 500, Y: 500}}}
+			scanner.Energy = caps.EnergyCap
+			scannerID := pop.Add(scanner)
+			addN := func(n int, aff asset.Affiliation, class asset.Class, emission float64) {
+				for i := 0; i < n; i++ {
+					a := &asset.Asset{Affiliation: aff, Class: class,
+						Caps: asset.DefaultCaps(class), Online: true,
+						DutyCycle: duty, Emission: emission,
+						Mobility: &geo.Static{P: geo.Point{X: rng.Uniform(200, 800), Y: rng.Uniform(200, 800)}}}
+					a.Energy = a.Caps.EnergyCap
+					pop.Add(a)
+				}
+			}
+			addN(40, asset.Blue, asset.ClassMote, 0.3)
+			addN(20, asset.Gray, asset.ClassPhone, 0.8)
+			addN(15, asset.Red, asset.ClassPhone, 0.7)
+
+			// discovery.Methods bit values match mm.flags.
+			svc := newDiscovery(eng, pop, scannerID, mm.flags)
+			for i := 0; i < rounds; i++ {
+				eng.Schedule(time.Duration(i)*2*time.Second, "scan", svc.Scan)
+			}
+			_ = eng.Run(0)
+			st := svc.Evaluate()
+			t.AddRow(f2(duty), mm.name, f2(st.Recall), f2(st.ClassAccuracy), f2(st.RedRecall), f2(st.RedPrecision))
+		}
+	}
+	return t
+}
+
+// E4Adaptation reproduces §IV (Figure 3): reflexive incremental repair
+// recovers far faster than global re-synthesis; the self-stabilizing
+// tree re-converges after corruption; coordination damps the [12]
+// oscillation pathology.
+func E4Adaptation(seed int64, quick bool) *Table {
+	t := &Table{
+		ID:     "E4",
+		Title:  "recovery mechanisms after disruption",
+		Header: []string{"mechanism", "disruption", "metric", "value"},
+		Notes: "repair is cheaper than full re-synthesis at light damage and converges to full-re-solve cost as " +
+			"damage grows (work scales with what was lost); tree cold-starts in O(diameter) rounds and flushes " +
+			"corruption in O(N) rounds (the distance-bound epoch); coordinated tail error ~0 where uncoordinated " +
+			"oscillates",
+	}
+	n := 2000
+	if quick {
+		n = 500
+	}
+	// (a) Composite repair vs full re-synthesis (also in E2; here under
+	// jamming-induced loss to tie to the mission context).
+	terr := geo.NewOpenTerrain(2000, 2000)
+	rng := sim.NewRNG(seed)
+	pop := asset.Generate(terr, asset.DefaultMix(n), rng)
+	goal := compose.Goal{
+		Area:         geo.NewRect(geo.Point{X: 200, Y: 200}, geo.Point{X: 1800, Y: 1800}),
+		CoverageFrac: 0.55,
+	}
+	req := compose.Derive(goal)
+	pool := compose.PoolFromPopulation(pop, nil)
+	comp, err := compose.GreedySolver{}.Solve(req, pool)
+	if err == nil {
+		for _, lossPct := range []int{10, 33, 60} {
+			failed := map[asset.ID]bool{}
+			for i, id := range comp.Members {
+				if (i*100)/len(comp.Members) < lossPct {
+					failed[id] = true
+				}
+			}
+			var survivors []compose.Candidate
+			for _, c := range pool {
+				if !failed[c.ID] {
+					survivors = append(survivors, c)
+				}
+			}
+			start := nowMS()
+			_, _ = compose.Recompose(req, comp, failed, survivors)
+			t.AddRow("reflex repair", fmt.Sprintf("%d%% member loss", lossPct), "wall ms", f0(nowMS()-start))
+			if lossPct == 33 {
+				start = nowMS()
+				_, _ = compose.GreedySolver{}.Solve(req, survivors)
+				t.AddRow("full re-synthesis", "33% member loss", "wall ms", f0(nowMS()-start))
+			}
+		}
+	}
+
+	// (b) Self-stabilizing spanning tree under corruption and root loss.
+	eng := sim.NewEngine(seed)
+	gridN := 8
+	if quick {
+		gridN = 5
+	}
+	tpop := asset.NewPopulation(geo.NewOpenTerrain(float64(gridN+1)*100, float64(gridN+1)*100))
+	caps := asset.DefaultCaps(asset.ClassSensor)
+	caps.RadioRange = 120
+	for iy := 0; iy < gridN; iy++ {
+		for ix := 0; ix < gridN; ix++ {
+			a := &asset.Asset{Class: asset.ClassSensor, Caps: caps, Online: true,
+				Mobility: &geo.Static{P: geo.Point{X: float64(ix+1) * 100, Y: float64(iy+1) * 100}}}
+			a.Energy = caps.EnergyCap
+			tpop.Add(a)
+		}
+	}
+	mcfg := mesh.DefaultConfig()
+	mcfg.StepMobility = false
+	net := mesh.New(eng, tpop, tpop.Terrain(), mcfg)
+	tree := adapt.NewSpanningTree(net)
+	rounds, _ := tree.Stabilize(1000)
+	t.AddRow("spanning tree", "cold start", "rounds", d(rounds))
+	tree.Corrupt(asset.ID(gridN*gridN/2), asset.ID(-1), 0)
+	rounds, _ = tree.Stabilize(1000)
+	t.AddRow("spanning tree", "phantom-root corruption", "rounds", d(rounds))
+	tpop.Kill(0)
+	net.Refresh()
+	rounds, _ = tree.Stabilize(1000)
+	t.AddRow("spanning tree", "root killed", "rounds", d(rounds))
+
+	// (c) Coordinated vs uncoordinated adaptation ([12]).
+	tail := func(coordinated bool) float64 {
+		c1 := adapt.NewController("a", 12, 0, 0, 20, 1)
+		c2 := adapt.NewController("b", 12, 0, 0, 20, 1)
+		c1.FixedGain, c2.FixedGain = true, true
+		co := adapt.NewCoordinator(c1, c2)
+		tailErr := 0.0
+		for i := 0; i < 60; i++ {
+			out := c1.Knob + c2.Knob
+			if coordinated {
+				co.Observe(out)
+			} else {
+				c1.Observe(out)
+				c2.Observe(out)
+			}
+			if i >= 40 {
+				diff := 12 - (c1.Knob + c2.Knob)
+				if diff < 0 {
+					diff = -diff
+				}
+				tailErr += diff
+			}
+		}
+		return tailErr
+	}
+	t.AddRow("controllers", "shared plant, uncoordinated", "tail error", f2(tail(false)))
+	t.AddRow("controllers", "shared plant, coordinated", "tail error", f2(tail(true)))
+	return t
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"iobt/internal/asset"
+	"iobt/internal/game"
+	"iobt/internal/geo"
+	"iobt/internal/learn"
+	"iobt/internal/mesh"
+	"iobt/internal/sim"
+	"iobt/internal/socialsense"
+	"iobt/internal/tomo"
+)
+
+// E5Game reproduces §IV.A: agent objective functions designed so that
+// best-response dynamics converge to equilibria meeting the global
+// goal, scalably and without explicit coordination.
+func E5Game(seed int64, quick bool) *Table {
+	t := &Table{
+		ID:     "E5",
+		Title:  "best-response convergence and welfare vs centralized optimum",
+		Header: []string{"agents", "dynamics", "rounds", "moves/agent", "welfare/opt", "equilibrium"},
+		Notes:  "rounds grow gently with N; welfare within the potential-game bound of optimum; random assignment wastes value",
+	}
+	sizes := []int{50, 200, 1000, 2000}
+	if quick {
+		sizes = []int{50, 200}
+	}
+	for _, n := range sizes {
+		rng := sim.NewRNG(seed)
+		tasks := make([]game.Task, n)
+		for i := range tasks {
+			tasks[i] = game.Task{Value: rng.Uniform(1, 10)}
+		}
+		opt := game.OptimalWelfare(tasks, n)
+
+		g := game.New(tasks, n, rng.Derive("br"))
+		g.Randomize()
+		rounds, converged := g.Run(10000)
+		t.AddRow(d(n), "best-response", d(rounds),
+			f2(float64(g.Moves.Value())/float64(n)), f3(g.Welfare()/opt), boolStr(converged))
+
+		rndGame := game.New(tasks, n, rng.Derive("rnd"))
+		rndGame.Randomize()
+		t.AddRow(d(n), "random-assign", "0", "0.00", f3(rndGame.Welfare()/opt), "no")
+
+		dec := game.Decompose(tasks, n, 8, rng.Derive("dec"))
+		decRounds, decOK := dec.Run(10000)
+		t.AddRow(d(n), "decomposed-8", d(decRounds),
+			f2(float64(dec.Moves())/float64(n)), f3(dec.Welfare()/opt), boolStr(decOK))
+	}
+	return t
+}
+
+// E6Learning reproduces §V.B (Figure 4): distributed learning must
+// tolerate adversarial compromise; robust aggregation preserves
+// convergence where plain averaging collapses.
+func E6Learning(seed int64, quick bool) *Table {
+	t := &Table{
+		ID:     "E6",
+		Title:  "federated accuracy by aggregator and Byzantine fraction",
+		Header: []string{"byz frac", "aggregator", "final acc", "bytes (MB)"},
+		Notes:  "fedavg collapses at >=20% sign-flip attackers; median/trimmed/krum stay near the clean ceiling",
+	}
+	workers := 20
+	rounds := 25
+	if quick {
+		rounds = 12
+	}
+	for _, byz := range []float64{0, 0.1, 0.2, 0.3} {
+		for _, agg := range []learn.Aggregator{
+			learn.MeanAgg{}, learn.MedianAgg{},
+			learn.TrimmedMeanAgg{K: 6}, learn.KrumAgg{F: 6},
+		} {
+			rng := sim.NewRNG(seed)
+			train := learn.GenDataset(rng, learn.GenConfig{N: 2000, Dim: 5, Noise: 0.05})
+			test := learn.GenDatasetFromW(rng, train.TrueW, 500, 0.05)
+			shards := train.Split(rng, workers, 0.3)
+			res := learn.RunFederated(rng.Derive("fed"), shards, test, learn.FedConfig{
+				Rounds: rounds, LocalSteps: 5, LR: 0.5,
+				ByzFrac: byz, Attack: learn.AttackSignFlip, Agg: agg,
+			})
+			// Mean of the last 5 rounds: a poisoned FedAvg oscillates
+			// between the model and its negation, so a single final
+			// round would under- or over-state the damage by parity.
+			acc := 0.0
+			if n := len(res.TestAcc); n > 0 {
+				k := 5
+				if n < k {
+					k = n
+				}
+				for _, v := range res.TestAcc[n-k:] {
+					acc += v
+				}
+				acc /= float64(k)
+			}
+			t.AddRow(f2(byz), agg.Name(), f3(acc), f2(res.BytesSent/1e6))
+		}
+	}
+	return t
+}
+
+// E7Truth reproduces §III.A/§V.A: estimation-theoretic truth discovery
+// beats naive aggregation on unreliable human sources and degrades
+// gracefully under collusion.
+func E7Truth(seed int64, quick bool) *Table {
+	t := &Table{
+		ID:     "E7",
+		Title:  "claim accuracy by estimator and colluding-source fraction",
+		Header: []string{"colluders", "majority", "EM", "EM iters", "reliability RMSE"},
+		Notes: "EM dominates majority under heterogeneous reliability; degradation is graceful while honest " +
+			"sources carry the majority of expected correct votes, and label symmetry breaks beyond that (~40%)",
+	}
+	cfg := socialsense.DefaultGenConfig()
+	if quick {
+		cfg.Sources = 80
+		cfg.Claims = 200
+	}
+	// Heterogeneous but honest-leaning reliabilities (mean ~0.77): the
+	// honest-majority anchor holds up to ~35% collusion.
+	cfg.ReliabilityAlpha = 5
+	cfg.ReliabilityBeta = 1.5
+	for _, coll := range []float64{0, 0.1, 0.2, 0.3, 0.4} {
+		c := cfg
+		c.ColluderFrac = coll
+		dset := socialsense.Generate(sim.NewRNG(seed), c)
+		maj := socialsense.Accuracy(socialsense.MajorityVote(dset), dset.Truth)
+		em := socialsense.EM(dset, 50)
+		emAcc := socialsense.Accuracy(em.Estimates(), dset.Truth)
+		rmse := socialsense.ReliabilityRMSE(em.Reliability, dset.Reliability)
+		t.AddRow(f2(coll), f3(maj), f3(emAcc), d(em.Iterations), f3(rmse))
+	}
+	return t
+}
+
+// E8Tomography reproduces §V.A: system health inferred without direct
+// observation; identifiability and failure localization improve with
+// monitor count.
+func E8Tomography(seed int64, quick bool) *Table {
+	t := &Table{
+		ID:     "E8",
+		Title:  "identifiable links and failure localization vs monitors",
+		Header: []string{"monitors", "paths", "links seen", "rank", "identifiable", "loc precision", "loc recall"},
+		Notes: "measurable link combinations (rank) grow steadily with monitors; uniquely identifiable links are " +
+			"rarer in grid meshes (paths share stems), which is exactly the identifiability limit of ref [20]",
+	}
+	gridN := 6
+	if quick {
+		gridN = 5
+	}
+	eng := sim.NewEngine(seed)
+	terr := geo.NewOpenTerrain(float64(gridN+1)*100, float64(gridN+1)*100)
+	pop := asset.NewPopulation(terr)
+	caps := asset.DefaultCaps(asset.ClassSensor)
+	caps.RadioRange = 120
+	for iy := 0; iy < gridN; iy++ {
+		for ix := 0; ix < gridN; ix++ {
+			a := &asset.Asset{Class: asset.ClassSensor, Caps: caps, Online: true,
+				Mobility: &geo.Static{P: geo.Point{X: float64(ix+1) * 100, Y: float64(iy+1) * 100}}}
+			a.Energy = caps.EnergyCap
+			pop.Add(a)
+		}
+	}
+	mcfg := mesh.DefaultConfig()
+	mcfg.StepMobility = false
+	net := mesh.New(eng, pop, terr, mcfg)
+
+	all := make([]asset.ID, gridN*gridN)
+	for i := range all {
+		all[i] = asset.ID(i)
+	}
+	rng := sim.NewRNG(seed)
+	for _, k := range []int{2, 4, 6, 8} {
+		monitors := tomo.PlaceMonitors(net, all, k)
+		paths, links := tomo.CollectPaths(net, monitors)
+		meas := make([]float64, len(paths))
+		est := tomo.InferDelays(paths, links, meas)
+		ident := 0
+		for _, ok := range est.Identifiable {
+			if ok {
+				ident++
+			}
+		}
+		// Boolean localization: fail a random covered link's endpoints.
+		prec, rec := 0.0, 0.0
+		if len(links) > 0 {
+			failLink := links[rng.Intn(len(links))]
+			var obs []tomo.PathObservation
+			for _, p := range paths {
+				ok := true
+				for _, l := range p.Links {
+					if l == failLink {
+						ok = false
+						break
+					}
+				}
+				obs = append(obs, tomo.PathObservation{Path: p, OK: ok})
+			}
+			diag := tomo.Localize(obs)
+			score := diag.Evaluate([]tomo.Link{failLink})
+			prec, rec = score.Precision, score.Recall
+		}
+		t.AddRow(d(k), d(len(paths)), d(len(links)), d(est.Rank), d(ident), f2(prec), f2(rec))
+	}
+	return t
+}

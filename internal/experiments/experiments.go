@@ -1,0 +1,137 @@
+// Package experiments contains the reproduction harness: one function
+// per experiment in DESIGN.md §4 (E1..E13), each returning a Table with
+// the rows the corresponding paper claim predicts. cmd/benchtab prints
+// them; the root bench_test.go wraps them as testing.B benchmarks.
+//
+// Every experiment takes a seed (full determinism) and a quick flag
+// (smaller workloads for benchmarking loops).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries the expected-shape statement from DESIGN.md §5.
+	Notes string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// CSV renders the table as comma-separated values (header row first),
+// for plotting pipelines.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Header)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "shape: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Experiment is a registry entry.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(seed int64, quick bool) *Table
+}
+
+// All returns the registry in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "decision-loop: intent vs hierarchy", E1DecisionLoop},
+		{"E2", "composition at scale under churn", E2Composition},
+		{"E3", "asset discovery methods", E3Discovery},
+		{"E4", "adaptive reflexes vs re-synthesis", E4Adaptation},
+		{"E5", "command-by-intent game convergence", E5Game},
+		{"E6", "Byzantine-resilient distributed learning", E6Learning},
+		{"E7", "truth discovery vs voting", E7Truth},
+		{"E8", "network tomography", E8Tomography},
+		{"E9", "saturation resistance", E9Saturation},
+		{"E10", "cost of learning vs topology", E10CostOfLearning},
+		{"E11", "continual learning contexts", E11Continual},
+		{"E12", "team diversity under modality loss", E12Diversity},
+		{"E13", "multi-target tracking continuity", E13Tracking},
+	}
+}
+
+// Lookup finds an experiment by ID (case-insensitive).
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Name == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := Lookup("e7"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Error("lookup of unknown id succeeded")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{ID: "EX", Title: "x", Header: []string{"a", "bb"}, Notes: "n"}
+	tb.AddRow("1", "2")
+	s := tb.String()
+	if !strings.Contains(s, "EX") || !strings.Contains(s, "bb") || !strings.Contains(s, "shape:") {
+		t.Errorf("table render missing pieces:\n%s", s)
+	}
+}
+
+// The shape tests below run each experiment in quick mode and assert the
+// DESIGN.md §5 expected shape on the produced numbers — the reproduction
+// criteria themselves.
+
+func TestE1Shape(t *testing.T) {
+	tb := E1DecisionLoop(11, true)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	intentP50 := parseF(t, tb.Rows[0][2])
+	hier3P50 := parseF(t, tb.Rows[3][2])
+	hier4P50 := parseF(t, tb.Rows[4][2])
+	if hier3P50 < 2*intentP50 {
+		t.Errorf("3-level hierarchy p50 %.2f not >= 2x intent %.2f", hier3P50, intentP50)
+	}
+	if hier4P50 <= hier3P50 {
+		t.Errorf("latency not growing with depth: %.2f -> %.2f", hier3P50, hier4P50)
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tb := E2Composition(12, true)
+	// Greedy must be feasible at every scale; repair must not be slower
+	// than full re-solve by more than 2x (it is usually much faster).
+	var greedyFeasible int
+	var repairMS, fullMS float64
+	for _, row := range tb.Rows {
+		switch row[1] {
+		case "greedy":
+			if row[5] == "yes" {
+				greedyFeasible++
+			}
+		case "repair-20%":
+			repairMS = parseF(t, row[2])
+		case "full-resolve":
+			fullMS = parseF(t, row[2])
+		}
+	}
+	if greedyFeasible == 0 {
+		t.Error("greedy never feasible")
+	}
+	if repairMS > 2*fullMS+5 {
+		t.Errorf("repair (%.0fms) slower than full re-solve (%.0fms)", repairMS, fullMS)
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tb := E3Discovery(13, true)
+	// At duty 0.1, full-stack recall must beat probe-only.
+	var probeLow, fullLow float64
+	var fullRedRecall float64
+	for _, row := range tb.Rows {
+		if row[0] == "0.10" && row[1] == "probe" {
+			probeLow = parseF(t, row[2])
+		}
+		if row[0] == "0.10" && row[1] != "probe" {
+			fullLow = parseF(t, row[2])
+		}
+		if row[0] == "1.00" && row[1] != "probe" {
+			fullRedRecall = parseF(t, row[4])
+		}
+	}
+	if fullLow <= probeLow {
+		t.Errorf("full-stack recall %.2f not above probe-only %.2f at duty 0.1", fullLow, probeLow)
+	}
+	if fullRedRecall < 0.5 {
+		t.Errorf("red recall %.2f < 0.5 with side channel", fullRedRecall)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tb := E4Adaptation(14, true)
+	var unco, coord float64
+	var treeRows int
+	for _, row := range tb.Rows {
+		if row[0] == "controllers" && strings.Contains(row[1], "uncoordinated") {
+			unco = parseF(t, row[3])
+		}
+		if row[0] == "controllers" && row[1] == "shared plant, coordinated" {
+			coord = parseF(t, row[3])
+		}
+		if row[0] == "spanning tree" {
+			treeRows++
+			if parseF(t, row[3]) > 500 {
+				t.Errorf("tree stabilization %s rounds too high", row[3])
+			}
+		}
+	}
+	if treeRows != 3 {
+		t.Errorf("tree rows = %d", treeRows)
+	}
+	if coord >= unco {
+		t.Errorf("coordination tail error %.2f not below uncoordinated %.2f", coord, unco)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tb := E5Game(15, true)
+	for _, row := range tb.Rows {
+		if row[1] == "best-response" {
+			if row[5] != "yes" {
+				t.Errorf("best response did not converge at n=%s", row[0])
+			}
+			if w := parseF(t, row[4]); w < 0.5 {
+				t.Errorf("welfare ratio %.3f below PoA bound at n=%s", w, row[0])
+			}
+		}
+		if row[1] == "random-assign" {
+			if w := parseF(t, row[4]); w > 0.95 {
+				t.Errorf("random assignment suspiciously good: %.3f", w)
+			}
+		}
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tb := E6Learning(16, true)
+	var fedavg30, median30 float64
+	for _, row := range tb.Rows {
+		if row[0] == "0.30" {
+			switch row[1] {
+			case "fedavg":
+				fedavg30 = parseF(t, row[2])
+			case "median":
+				median30 = parseF(t, row[2])
+			}
+		}
+	}
+	if median30 < fedavg30+0.1 {
+		t.Errorf("median %.3f should clearly beat fedavg %.3f at 30%% byzantine", median30, fedavg30)
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tb := E7Truth(17, true)
+	for _, row := range tb.Rows {
+		maj := parseF(t, row[1])
+		em := parseF(t, row[2])
+		coll := parseF(t, row[0])
+		if coll <= 0.2 && em < maj {
+			t.Errorf("EM %.3f below majority %.3f at collusion %.2f", em, maj, coll)
+		}
+		// Graceful degradation holds while honest sources carry the
+		// expected majority of correct votes (up to ~30% here); at 40%
+		// the label symmetry can break, which the table documents.
+		if coll <= 0.3 && em < 0.6 {
+			t.Errorf("EM %.3f collapsed at collusion %.2f", em, coll)
+		}
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tb := E8Tomography(18, true)
+	prevRank := -1.0
+	for _, row := range tb.Rows {
+		rank := parseF(t, row[3])
+		if rank < prevRank {
+			t.Errorf("rank decreased with more monitors: %v -> %v", prevRank, rank)
+		}
+		prevRank = rank
+		// Precision is the hard guarantee; recall may be < 1 when the
+		// failed link shares a stem with others.
+		if prec := parseF(t, row[5]); prec != 0 && prec < 0.5 {
+			t.Errorf("localization precision %.2f too low", prec)
+		}
+	}
+	first := parseF(t, tb.Rows[0][3])
+	last := parseF(t, tb.Rows[len(tb.Rows)-1][3])
+	if last <= first {
+		t.Error("rank never grew with monitor count")
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tb := E9Saturation(19, true)
+	first := tb.Rows[0]
+	last := tb.Rows[len(tb.Rows)-1]
+	fifoDrop := parseF(t, first[1]) - parseF(t, last[1])
+	isoDrop := parseF(t, first[3]) - parseF(t, last[3])
+	if fifoDrop < 100 {
+		t.Errorf("FIFO goodput did not collapse: drop %.0f", fifoDrop)
+	}
+	if isoDrop > 10 {
+		t.Errorf("isolated goodput dropped %.0f; want flat", isoDrop)
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tb := E10CostOfLearning(20, true)
+	var ringAcc, fullAcc float64
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "ring":
+			ringAcc = parseF(t, row[3])
+		case "full":
+			fullAcc = parseF(t, row[3])
+		}
+	}
+	if ringAcc < fullAcc-0.05 {
+		t.Errorf("budgeted ring %.3f much worse than full %.3f", ringAcc, fullAcc)
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	tb := E11Continual(21, true)
+	// Context 0 row: contextual retention must beat single model.
+	row := tb.Rows[0]
+	single := parseF(t, row[1])
+	ctx := parseF(t, row[2])
+	if ctx < single+0.05 {
+		t.Errorf("contextual %.3f not above single %.3f on forgotten context", ctx, single)
+	}
+	if ctx < 0.8 {
+		t.Errorf("contextual retention %.3f too low", ctx)
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	tb := E12Diversity(22, true)
+	var homoRetained, divRetained float64
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "homogeneous-visual":
+			homoRetained = parseF(t, row[3])
+		case "diverse-3-modality":
+			divRetained = parseF(t, row[3])
+		}
+	}
+	if homoRetained > 0.1 {
+		t.Errorf("homogeneous team retained %.2f after smoke; want collapse", homoRetained)
+	}
+	if divRetained < 0.3 {
+		t.Errorf("diverse team retained only %.2f", divRetained)
+	}
+}
+
+func TestE13Shape(t *testing.T) {
+	tb := E13Tracking(23, true)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	sparse := parseF(t, tb.Rows[0][2])
+	dense := parseF(t, tb.Rows[2][2])
+	if dense <= sparse {
+		t.Errorf("continuity sparse=%.2f dense=%.2f; want density to help", sparse, dense)
+	}
+	// Warm tracks survive sensor churn far better than a cold start at
+	// the surviving density; the damage shows up as error and drops.
+	churned := parseF(t, tb.Rows[3][2])
+	if churned <= sparse {
+		t.Errorf("warm-track churn continuity %.2f not above cold-start sparse %.2f", churned, sparse)
+	}
+	churnErr := parseF(t, tb.Rows[3][3])
+	denseErr := parseF(t, tb.Rows[2][3])
+	if churnErr <= denseErr {
+		t.Errorf("churn error %.2f not above full-density error %.2f", churnErr, denseErr)
+	}
+}
+
+func TestRegistryHasE13(t *testing.T) {
+	if _, ok := Lookup("E13"); !ok {
+		t.Error("E13 missing from registry")
+	}
+	if len(All()) != 13 {
+		t.Errorf("registry size = %d", len(All()))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}, Rows: [][]string{{"1", "x,y"}, {"2", `q"u`}}}
+	got := tb.CSV()
+	want := "a,b\n1,\"x,y\"\n2,\"q\"\"u\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,7 @@
+package game
+
+import "sort"
+
+func sortDesc(v []float64) {
+	sort.Sort(sort.Reverse(sort.Float64Slice(v)))
+}

@@ -1,0 +1,49 @@
+package intent
+
+import (
+	"testing"
+	"time"
+
+	"iobt/internal/core"
+	"iobt/internal/geo"
+)
+
+// TestSpecToMissionEndToEnd parses a spec, synthesizes, and runs the
+// mission — the full goals-to-means pipeline from commander text to
+// executed battlefield service.
+func TestSpecToMissionEndToEnd(t *testing.T) {
+	m, err := Parse(`
+mission "e2e"
+area (300,300)-(1200,1200)
+cover 45%
+command intent
+rate 30/min
+deadline 30s
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	w := core.NewWorld(core.WorldConfig{
+		Seed:    41,
+		Terrain: geo.NewOpenTerrain(1500, 1500),
+		Assets:  400,
+	})
+	defer w.Stop()
+	r := core.NewRuntime(w, m)
+	if err := r.Synthesize(); err != nil {
+		t.Fatalf("synthesize from DSL goal: %v", err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	r.Stop()
+	if r.Metrics.Incidents.Value() < 50 {
+		t.Errorf("incidents = %d, want ~60 (rate clause applied)", r.Metrics.Incidents.Value())
+	}
+	if r.Metrics.SuccessRate() == 0 {
+		t.Error("mission from DSL produced no successes")
+	}
+}

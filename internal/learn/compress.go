@@ -1,0 +1,39 @@
+package learn
+
+import "sort"
+
+// SparsifyTopK keeps the k largest-magnitude entries of v and zeroes the
+// rest (top-k gradient sparsification). It returns the sparse vector and
+// the number of retained entries. k <= 0 or k >= len(v) returns a copy.
+func SparsifyTopK(v []float64, k int) ([]float64, int) {
+	out := make([]float64, len(v))
+	if k <= 0 || k >= len(v) {
+		copy(out, v)
+		return out, len(v)
+	}
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := v[idx[a]], v[idx[b]]
+		if va < 0 {
+			va = -va
+		}
+		if vb < 0 {
+			vb = -vb
+		}
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b]
+	})
+	for _, i := range idx[:k] {
+		out[i] = v[i]
+	}
+	return out, k
+}
+
+// SparseMessageBytes estimates the wire size of a k-sparse update:
+// 8 bytes per value plus 4 bytes per index.
+func SparseMessageBytes(k int) float64 { return float64(k) * 12 }

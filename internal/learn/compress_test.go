@@ -1,0 +1,89 @@
+package learn
+
+import (
+	"testing"
+
+	"iobt/internal/sim"
+)
+
+func TestSparsifyTopK(t *testing.T) {
+	v := []float64{0.1, -5, 2, 0.3, -1}
+	got, kept := SparsifyTopK(v, 2)
+	if kept != 2 {
+		t.Errorf("kept = %d", kept)
+	}
+	want := []float64{0, -5, 2, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Input untouched.
+	if v[0] != 0.1 {
+		t.Error("input mutated")
+	}
+}
+
+func TestSparsifyTopKEdges(t *testing.T) {
+	v := []float64{1, 2}
+	if got, kept := SparsifyTopK(v, 0); kept != 2 || got[0] != 1 {
+		t.Error("k<=0 should copy")
+	}
+	if got, kept := SparsifyTopK(v, 5); kept != 2 || got[1] != 2 {
+		t.Error("k>=len should copy")
+	}
+	if got, kept := SparsifyTopK(nil, 3); kept != 0 || len(got) != 0 {
+		t.Error("nil input")
+	}
+}
+
+func TestSparseMessageBytes(t *testing.T) {
+	if SparseMessageBytes(3) != 36 {
+		t.Errorf("bytes = %v", SparseMessageBytes(3))
+	}
+}
+
+func TestFederatedTopKCutsBytesKeepsAccuracy(t *testing.T) {
+	run := func(topK int) (float64, float64) {
+		rng := sim.NewRNG(9)
+		train := GenDataset(rng, GenConfig{N: 2000, Dim: 10, Noise: 0.05})
+		test := GenDatasetFromW(rng, train.TrueW, 500, 0.05)
+		shards := train.Split(rng, 20, 0.3)
+		res := RunFederated(rng.Derive("fed"), shards, test, FedConfig{
+			Rounds: 30, LocalSteps: 5, LR: 0.5, TopK: topK,
+		})
+		return res.TestAcc[len(res.TestAcc)-1], res.BytesSent
+	}
+	denseAcc, denseBytes := run(0)
+	sparseAcc, sparseBytes := run(3) // 3 of 11 coordinates per round
+	if sparseBytes >= denseBytes {
+		t.Errorf("compression did not reduce bytes: %v vs %v", sparseBytes, denseBytes)
+	}
+	if sparseAcc < denseAcc-0.05 {
+		t.Errorf("top-k accuracy %.3f far below dense %.3f", sparseAcc, denseAcc)
+	}
+	if sparseAcc < 0.85 {
+		t.Errorf("top-k accuracy %.3f too low", sparseAcc)
+	}
+}
+
+func TestFederatedTopKDeltaSemantics(t *testing.T) {
+	// With TopK on and zero local steps... local steps default to 5, so
+	// instead verify the global model actually moves under compression.
+	rng := sim.NewRNG(10)
+	train := GenDataset(rng, GenConfig{N: 500, Dim: 5, Noise: 0})
+	test := GenDatasetFromW(rng, train.TrueW, 200, 0)
+	shards := train.Split(rng, 5, 0)
+	res := RunFederated(rng.Derive("fed"), shards, test, FedConfig{
+		Rounds: 10, LocalSteps: 3, LR: 0.5, TopK: 2,
+	})
+	moved := false
+	for _, w := range res.Model.W {
+		if w != 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("global model never moved under delta compression")
+	}
+}

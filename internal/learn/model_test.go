@@ -1,0 +1,156 @@
+package learn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iobt/internal/sim"
+)
+
+func TestSigmoid(t *testing.T) {
+	if s := sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("sigmoid(0) = %v", s)
+	}
+	if s := sigmoid(100); s <= 0.99 {
+		t.Errorf("sigmoid(100) = %v", s)
+	}
+	if s := sigmoid(-100); s >= 0.01 {
+		t.Errorf("sigmoid(-100) = %v", s)
+	}
+	// Symmetry.
+	if math.Abs(sigmoid(3)+sigmoid(-3)-1) > 1e-12 {
+		t.Error("sigmoid not symmetric")
+	}
+}
+
+func TestModelTrainsOnSeparableData(t *testing.T) {
+	rng := sim.NewRNG(1)
+	d := GenDataset(rng, GenConfig{N: 500, Dim: 4, Noise: 0})
+	m := NewModel(4)
+	for epoch := 0; epoch < 50; epoch++ {
+		m.SGDStep(d.X, d.Y, 0.5)
+	}
+	if acc := m.Accuracy(d.X, d.Y); acc < 0.97 {
+		t.Errorf("training accuracy = %.3f on separable data", acc)
+	}
+}
+
+func TestLossDecreasesUnderSGD(t *testing.T) {
+	rng := sim.NewRNG(2)
+	d := GenDataset(rng, GenConfig{N: 300, Dim: 5, Noise: 0.05})
+	m := NewModel(5)
+	prev := m.Loss(d.X, d.Y)
+	for epoch := 0; epoch < 20; epoch++ {
+		m.SGDStep(d.X, d.Y, 0.3)
+		cur := m.Loss(d.X, d.Y)
+		if cur > prev+1e-6 {
+			t.Fatalf("loss increased at epoch %d: %v -> %v", epoch, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestModelEdges(t *testing.T) {
+	m := NewModel(3)
+	if m.Dim() != 3 {
+		t.Errorf("Dim = %d", m.Dim())
+	}
+	if m.Predict([]float64{1, 2, 3}) != 0.5 {
+		t.Error("zero model should predict 0.5")
+	}
+	if m.Accuracy(nil, nil) != 0 || m.Loss(nil, nil) != 0 {
+		t.Error("empty dataset metrics should be 0")
+	}
+	m.SGDStep(nil, nil, 0.1) // no-op, no panic
+	c := m.Clone()
+	c.W[0] = 99
+	if m.W[0] == 99 {
+		t.Error("Clone aliases weights")
+	}
+	// Short feature vector must not panic.
+	_ = m.Predict([]float64{1})
+	grad := make([]float64, 4)
+	m.Gradient(grad, []float64{1}, 1)
+}
+
+func TestGenDatasetNoiseCeiling(t *testing.T) {
+	rng := sim.NewRNG(3)
+	clean := GenDataset(rng, GenConfig{N: 2000, Dim: 5, Noise: 0})
+	if acc := clean.BayesAccuracy(); acc != 1 {
+		t.Errorf("clean Bayes accuracy = %v", acc)
+	}
+	noisy := GenDataset(rng, GenConfig{N: 2000, Dim: 5, Noise: 0.2})
+	acc := noisy.BayesAccuracy()
+	if acc < 0.75 || acc > 0.85 {
+		t.Errorf("noisy Bayes accuracy = %v, want ~0.8", acc)
+	}
+}
+
+func TestSplitConservesData(t *testing.T) {
+	rng := sim.NewRNG(4)
+	d := GenDataset(rng, GenConfig{N: 1000, Dim: 3, Noise: 0})
+	shards := d.Split(rng, 7, 0)
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	if total != 1000 {
+		t.Errorf("split lost data: %d", total)
+	}
+	if len(shards) != 7 {
+		t.Errorf("shards = %d", len(shards))
+	}
+}
+
+func TestSplitSkewProducesNonIID(t *testing.T) {
+	rng := sim.NewRNG(5)
+	d := GenDataset(rng, GenConfig{N: 4000, Dim: 3, Noise: 0})
+	shards := d.Split(rng, 4, 0.9)
+	// Class balance should differ strongly between even and odd shards.
+	frac1 := func(s *Dataset) float64 {
+		if s.Len() == 0 {
+			return 0
+		}
+		n := 0
+		for _, y := range s.Y {
+			n += y
+		}
+		return float64(n) / float64(s.Len())
+	}
+	if math.Abs(frac1(shards[0])-frac1(shards[1])) < 0.2 {
+		t.Errorf("skewed shards too similar: %.2f vs %.2f", frac1(shards[0]), frac1(shards[1]))
+	}
+}
+
+func TestSubset(t *testing.T) {
+	rng := sim.NewRNG(6)
+	d := GenDataset(rng, GenConfig{N: 100, Dim: 2, Noise: 0})
+	if d.Subset(10).Len() != 10 {
+		t.Error("Subset(10)")
+	}
+	if d.Subset(1000).Len() != 100 {
+		t.Error("Subset beyond length should clamp")
+	}
+}
+
+// Property: gradient of loss at a point actually descends (finite check:
+// loss after one small step never increases much on the same batch).
+func TestSGDStepDescends(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		d := GenDataset(rng, GenConfig{N: 50, Dim: 3, Noise: 0.1})
+		m := NewModel(3)
+		// Random start.
+		for i := range m.W {
+			m.W[i] = rng.Norm(0, 1)
+		}
+		before := m.Loss(d.X, d.Y)
+		m.SGDStep(d.X, d.Y, 0.05)
+		after := m.Loss(d.X, d.Y)
+		return after <= before+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

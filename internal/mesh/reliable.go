@@ -1,0 +1,163 @@
+package mesh
+
+import (
+	"strconv"
+	"time"
+
+	"iobt/internal/sim"
+)
+
+// Reliable is a stop-and-wait ARQ layer over the lossy mesh: each
+// message is retried until acknowledged or the retry budget is spent.
+// Forward-deployed links drop packets routinely (paper §II), so
+// mission-critical traffic — orders, evacuation routes — needs
+// acknowledged delivery; the cost is latency and extra airtime, which
+// the tests and benches quantify.
+type Reliable struct {
+	net *Network
+	eng *sim.Engine
+	// MaxRetries bounds retransmissions (default 5).
+	MaxRetries int
+	// Timeout is the per-attempt ACK deadline (default 2s).
+	Timeout time.Duration
+
+	nextSeq  int
+	inflight map[int]*rtxState
+	handlers map[NodeID]Handler
+	seen     map[NodeID]map[int]bool // per-destination delivered seqs
+
+	// Acked and Exhausted count terminal outcomes.
+	Acked     sim.Counter
+	Exhausted sim.Counter
+	// Attempts counts every transmission including retries.
+	Attempts sim.Counter
+}
+
+type rtxState struct {
+	msg     Message
+	tries   int
+	done    bool
+	onAck   func()
+	onFail  func()
+	timeout sim.Handle
+}
+
+// NewReliable wraps a network with an ARQ layer. Nodes that should
+// receive reliable messages must be registered via Register (the layer
+// owns their mesh handler).
+func NewReliable(eng *sim.Engine, net *Network) *Reliable {
+	return &Reliable{
+		net:        net,
+		eng:        eng,
+		MaxRetries: 5,
+		Timeout:    2 * time.Second,
+		inflight:   make(map[int]*rtxState),
+		handlers:   make(map[NodeID]Handler),
+		seen:       make(map[NodeID]map[int]bool),
+	}
+}
+
+// Register installs the application handler for a node and takes over
+// its mesh handler for ACK processing and duplicate suppression.
+func (r *Reliable) Register(id NodeID, h Handler) {
+	r.handlers[id] = h
+	r.net.RegisterHandler(id, func(msg Message) { r.onReceive(id, msg) })
+}
+
+// Send transmits msg reliably. onAck (optional) fires when the ACK
+// arrives; onFail (optional) fires when the retry budget is exhausted.
+// The sender's mesh handler is installed automatically so ACKs can
+// reach the ARQ layer (Register it explicitly if it also consumes
+// application traffic).
+func (r *Reliable) Send(msg Message, onAck, onFail func()) {
+	if _, ok := r.handlers[msg.From]; !ok {
+		r.Register(msg.From, nil)
+	}
+	seq := r.nextSeq
+	r.nextSeq++
+	st := &rtxState{msg: msg, onAck: onAck, onFail: onFail}
+	r.inflight[seq] = st
+	r.attempt(seq)
+}
+
+func (r *Reliable) attempt(seq int) {
+	st, ok := r.inflight[seq]
+	if !ok || st.done {
+		return
+	}
+	if st.tries > r.MaxRetries {
+		st.done = true
+		delete(r.inflight, seq)
+		r.Exhausted.Inc()
+		if st.onFail != nil {
+			st.onFail()
+		}
+		return
+	}
+	st.tries++
+	r.Attempts.Inc()
+	m := st.msg
+	m.Kind = "rel:" + strconv.Itoa(seq) + ":" + m.Kind
+	_ = r.net.Send(m) // losses surface as missing ACKs
+	st.timeout = r.eng.Schedule(r.Timeout, "arq.timeout", func() { r.attempt(seq) })
+}
+
+// onReceive demultiplexes data and ACK frames at a registered node.
+func (r *Reliable) onReceive(self NodeID, msg Message) {
+	seq, rest, isRel := splitRel(msg.Kind)
+	if !isRel {
+		if h := r.handlers[self]; h != nil {
+			h(msg)
+		}
+		return
+	}
+	if rest == "ack" {
+		st, ok := r.inflight[seq]
+		if !ok || st.done {
+			return // duplicate or late ACK
+		}
+		st.done = true
+		st.timeout.Cancel()
+		delete(r.inflight, seq)
+		r.Acked.Inc()
+		if st.onAck != nil {
+			st.onAck()
+		}
+		return
+	}
+	// Data frame: ACK it (even for duplicates — the ACK may have been
+	// lost), deliver once.
+	ack := Message{From: self, To: msg.From, Size: 32, Kind: "rel:" + strconv.Itoa(seq) + ":ack"}
+	_ = r.net.Send(ack)
+	if r.seen[self] == nil {
+		r.seen[self] = make(map[int]bool)
+	}
+	if r.seen[self][seq] {
+		return
+	}
+	r.seen[self][seq] = true
+	if h := r.handlers[self]; h != nil {
+		delivered := msg
+		delivered.Kind = rest
+		h(delivered)
+	}
+}
+
+// splitRel parses "rel:<seq>:<kind>".
+func splitRel(kind string) (int, string, bool) {
+	const prefix = "rel:"
+	if len(kind) <= len(prefix) || kind[:len(prefix)] != prefix {
+		return 0, "", false
+	}
+	rest := kind[len(prefix):]
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == ':' {
+			seq, err := strconv.Atoi(rest[:i])
+			if err != nil {
+				return 0, "", false
+			}
+			return seq, rest[i+1:], true
+		}
+	}
+	return 0, "", false
+}

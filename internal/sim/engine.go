@@ -1,0 +1,260 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate for every IoBT experiment in this
+// repository: a virtual clock, a priority queue of timestamped events, and
+// seeded random-number streams. Determinism is a hard requirement — two
+// runs with the same seed must produce identical traces — so all
+// randomness used anywhere in the system must come from Engine.RNG
+// streams, never from math/rand's global source or from time.Now.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Event is a unit of simulated work scheduled at a virtual time.
+type Event struct {
+	// At is the virtual time at which the event fires.
+	At time.Duration
+	// Fn is the action to run. It may schedule further events.
+	Fn func()
+	// Label is an optional tag used in traces and debugging.
+	Label string
+
+	seq      uint64 // tie-breaker: FIFO among equal timestamps
+	index    int    // heap index, -1 when not queued
+	canceled bool
+}
+
+// Handle refers to a scheduled event and allows cancellation.
+type Handle struct{ ev *Event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op. Returns true if the event was
+// pending and is now canceled.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.canceled || h.ev.index < 0 {
+		return false
+	}
+	h.ev.canceled = true
+	return true
+}
+
+// Pending reports whether the event is still queued and not canceled.
+func (h Handle) Pending() bool {
+	return h.ev != nil && !h.ev.canceled && h.ev.index >= 0
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrStopped is returned by Run when the simulation was halted via Stop.
+var ErrStopped = errors.New("simulation stopped")
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// Engine is not safe for concurrent use; the simulated world is
+// deliberately sequential so that runs are reproducible. Concurrency in
+// the modeled system is expressed as interleaved events, not goroutines.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// processed counts events executed since construction.
+	processed uint64
+
+	rng    *RNG
+	tracer *Tracer
+}
+
+// NewEngine returns an engine with its virtual clock at zero and a master
+// RNG seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently queued (including
+// canceled events not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// RNG returns the engine's master random stream.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Stream derives an independent, reproducible random stream from the
+// engine seed and the given name. Use one stream per concern (mobility,
+// channel noise, attacks …) so that adding randomness to one subsystem
+// does not perturb another.
+func (e *Engine) Stream(name string) *RNG { return e.rng.Derive(name) }
+
+// Schedule queues fn to run after delay. A negative delay is an error in
+// the model; it is clamped to zero so causality is preserved.
+func (e *Engine) Schedule(delay time.Duration, label string, fn func()) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &Event{At: e.now + delay, Fn: fn, Label: label, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev: ev}
+}
+
+// ScheduleAt queues fn at an absolute virtual time. Times in the past are
+// clamped to now.
+func (e *Engine) ScheduleAt(at time.Duration, label string, fn func()) Handle {
+	if at < e.now {
+		at = e.now
+	}
+	return e.Schedule(at-e.now, label, fn)
+}
+
+// Every schedules fn to run every interval until the returned ticker is
+// stopped. The first firing is one interval from now.
+func (e *Engine) Every(interval time.Duration, label string, fn func()) *Ticker {
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	t := &Ticker{engine: e, interval: interval, label: label, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker is a repeating event created by Engine.Every.
+type Ticker struct {
+	engine   *Engine
+	interval time.Duration
+	label    string
+	fn       func()
+	handle   Handle
+	stopped  bool
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.engine.Schedule(t.interval, t.label, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop halts future firings. In-flight firings already dequeued still run.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Stop halts the run loop after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event, advancing the clock. It returns
+// false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev, ok := heap.Pop(&e.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.canceled {
+			continue
+		}
+		if ev.At < e.now {
+			// Heap invariant violated; should be impossible.
+			panic(fmt.Sprintf("sim: event %q at %v scheduled before now %v", ev.Label, ev.At, e.now))
+		}
+		e.now = ev.At
+		e.processed++
+		if e.tracer != nil {
+			e.tracer.record(ev.At, ev.Label)
+		}
+		ev.Fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, the horizon is reached, or
+// Stop is called. A zero horizon means no time limit. It returns
+// ErrStopped if halted by Stop, nil otherwise.
+func (e *Engine) Run(horizon time.Duration) error {
+	e.stopped = false
+	limit := horizon
+	if limit == 0 {
+		limit = math.MaxInt64
+	} else {
+		limit = e.now + horizon
+	}
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			return nil
+		}
+		next := e.queue[0].At
+		if next > limit {
+			e.now = limit
+			return nil
+		}
+		e.Step()
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events until pred returns true (checked after each
+// event), the queue drains, or maxEvents events have run. It returns true
+// if pred was satisfied.
+func (e *Engine) RunUntil(pred func() bool, maxEvents uint64) bool {
+	for n := uint64(0); n < maxEvents; n++ {
+		if pred() {
+			return true
+		}
+		if !e.Step() {
+			return pred()
+		}
+	}
+	return pred()
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*time.Second, "c", func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, "a", func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, "b", func() { got = append(got, 2) })
+	if err := e.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", e.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, "x", func() { got = append(got, i) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(-5*time.Second, "neg", func() { fired = true })
+	if err := e.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !fired {
+		t.Error("negative-delay event did not fire")
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock moved backwards: %v", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	h := e.Schedule(time.Second, "x", func() { fired = true })
+	if !h.Pending() {
+		t.Fatal("handle should be pending")
+	}
+	if !h.Cancel() {
+		t.Fatal("cancel should succeed")
+	}
+	if h.Cancel() {
+		t.Fatal("second cancel should fail")
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fired {
+		t.Error("canceled event fired")
+	}
+}
+
+func TestHorizonStopsClock(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(10*time.Second, "late", func() { fired = true })
+	if err := e.Run(5 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if e.Now() != 5*time.Second {
+		t.Errorf("Now() = %v, want 5s", e.Now())
+	}
+	// Resume: the event is still there.
+	if err := e.Run(10 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !fired {
+		t.Error("event did not fire after resuming")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Every(time.Second, "tick", func() {
+		count++
+		if count == 3 {
+			e.Stop()
+		}
+	})
+	if err := e.Run(0); err != ErrStopped {
+		t.Fatalf("run err = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	tk := e.Every(time.Second, "tick", func() { count++ })
+	e.Schedule(5500*time.Millisecond, "stop", func() { tk.Stop() })
+	if err := e.Run(20 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if count != 5 {
+		t.Errorf("ticks = %d, want 5", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.Every(time.Second, "tick", func() { n++ })
+	ok := e.RunUntil(func() bool { return n >= 4 }, 100)
+	if !ok {
+		t.Fatal("predicate not reached")
+	}
+	if n != 4 {
+		t.Errorf("n = %d, want 4", n)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			e.Schedule(time.Second, "r", recurse)
+		}
+	}
+	e.Schedule(time.Second, "r", recurse)
+	if err := e.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if depth != 5 {
+		t.Errorf("depth = %d, want 5", depth)
+	}
+	if e.Now() != 5*time.Second {
+		t.Errorf("Now() = %v, want 5s", e.Now())
+	}
+}
+
+// TestClockMonotonic is a property test: however events are scheduled,
+// the clock observed inside each fired event never decreases.
+func TestClockMonotonic(t *testing.T) {
+	prop := func(delays []int16) bool {
+		e := NewEngine(42)
+		last := time.Duration(-1)
+		ok := true
+		for _, d := range delays {
+			delay := time.Duration(d) * time.Millisecond
+			e.Schedule(delay, "p", func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		if err := e.Run(0); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func(seed int64) []float64 {
+		e := NewEngine(seed)
+		rng := e.Stream("test")
+		var out []float64
+		e.Every(time.Second, "tick", func() { out = append(out, rng.Float64()) })
+		e.Schedule(10*time.Second+time.Millisecond, "stop", func() { e.Stop() })
+		_ = e.Run(0)
+		return out
+	}
+	a, b := trace(7), trace(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := trace(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e := NewEngine(5)
+	if e.Processed() != 0 || e.Pending() != 0 {
+		t.Error("fresh engine should have no events")
+	}
+	e.Schedule(time.Second, "x", func() {})
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	if e.RNG() == nil {
+		t.Fatal("nil master RNG")
+	}
+	_ = e.Run(0)
+	if e.Processed() != 1 {
+		t.Errorf("Processed = %d", e.Processed())
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := NewEngine(6)
+	var at time.Duration
+	e.ScheduleAt(10*time.Second, "abs", func() { at = e.Now() })
+	_ = e.Run(0)
+	if at != 10*time.Second {
+		t.Errorf("fired at %v", at)
+	}
+	// Past times clamp to now.
+	e.Schedule(time.Second, "later", func() {
+		e.ScheduleAt(0, "past", func() {
+			if e.Now() < time.Second {
+				t.Error("past-scheduled event ran before now")
+			}
+		})
+	})
+	_ = e.Run(0)
+}
+
+func TestRunUntilExhaustsQueue(t *testing.T) {
+	e := NewEngine(7)
+	e.Schedule(time.Second, "only", func() {})
+	if ok := e.RunUntil(func() bool { return false }, 100); ok {
+		t.Error("predicate never true but RunUntil reported success")
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsInOrder(t *testing.T) {
+	e := NewEngine(1)
+	tr := NewTracer(10)
+	e.SetTracer(tr)
+	e.Schedule(2*time.Second, "b", func() {})
+	e.Schedule(1*time.Second, "a", func() {})
+	_ = e.Run(0)
+	got := tr.Entries()
+	if len(got) != 2 || got[0].Label != "a" || got[1].Label != "b" {
+		t.Fatalf("entries = %v", got)
+	}
+	if got[0].At != time.Second {
+		t.Errorf("At = %v", got[0].At)
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	e := NewEngine(1)
+	tr := NewTracer(3)
+	e.SetTracer(tr)
+	for i := 0; i < 5; i++ {
+		label := string(rune('a' + i))
+		e.Schedule(time.Duration(i+1)*time.Second, label, func() {})
+	}
+	_ = e.Run(0)
+	got := tr.Entries()
+	if tr.Len() != 3 || len(got) != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if got[0].Label != "c" || got[2].Label != "e" {
+		t.Errorf("ring contents = %v", got)
+	}
+}
+
+func TestTracerFilter(t *testing.T) {
+	e := NewEngine(1)
+	tr := NewTracer(10)
+	tr.Filter = "mesh"
+	e.SetTracer(tr)
+	e.Schedule(time.Second, "mesh.hop", func() {})
+	e.Schedule(2*time.Second, "churn", func() {})
+	_ = e.Run(0)
+	if tr.Len() != 1 || tr.Entries()[0].Label != "mesh.hop" {
+		t.Errorf("filtered trace = %v", tr.Entries())
+	}
+}
+
+func TestTracerString(t *testing.T) {
+	e := NewEngine(1)
+	tr := NewTracer(0) // defaults
+	e.SetTracer(tr)
+	e.Schedule(time.Second, "hello", func() {})
+	_ = e.Run(0)
+	if !strings.Contains(tr.String(), "hello") {
+		t.Error("String missing label")
+	}
+	e.SetTracer(nil) // disable
+	e.Schedule(time.Second, "quiet", func() {})
+	_ = e.Run(0)
+	if strings.Contains(tr.String(), "quiet") {
+		t.Error("tracer recorded after removal")
+	}
+}

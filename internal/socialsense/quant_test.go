@@ -1,0 +1,90 @@
+package socialsense
+
+import (
+	"testing"
+
+	"iobt/internal/sim"
+)
+
+// quantWorld draws a quantitative crowdsourcing instance: truths in
+// [0,100], source noise sigma drawn from the given levels.
+func quantWorld(rng *sim.RNG, sources, claims int, sigmas []float64, observeProb float64) ([]float64, []float64, []QuantReport) {
+	truth := make([]float64, claims)
+	for j := range truth {
+		truth[j] = rng.Uniform(0, 100)
+	}
+	sigma := make([]float64, sources)
+	for s := range sigma {
+		sigma[s] = sigmas[s%len(sigmas)]
+	}
+	var reports []QuantReport
+	for s := 0; s < sources; s++ {
+		for j := 0; j < claims; j++ {
+			if !rng.Bool(observeProb) {
+				continue
+			}
+			reports = append(reports, QuantReport{
+				Source: s, Claim: j, Value: truth[j] + rng.Norm(0, sigma[s]),
+			})
+		}
+	}
+	return truth, sigma, reports
+}
+
+func TestQuantEMBeatsMeanUnderHeterogeneousNoise(t *testing.T) {
+	rng := sim.NewRNG(1)
+	// A few precise instruments among many sloppy eyeballs.
+	truth, _, reports := quantWorld(rng, 60, 150, []float64{0.5, 15, 15, 15}, 0.5)
+	mean := MeanEstimate(150, reports)
+	em := QuantEM(60, 150, reports, 30)
+	meanErr := RMSE(mean, truth)
+	emErr := RMSE(em.Truth, truth)
+	if emErr >= meanErr {
+		t.Errorf("QuantEM RMSE %.3f not below mean %.3f", emErr, meanErr)
+	}
+	if emErr > 1.0 {
+		t.Errorf("QuantEM RMSE %.3f; precise sources should pin truth", emErr)
+	}
+}
+
+func TestQuantEMEstimatesSourceNoise(t *testing.T) {
+	rng := sim.NewRNG(2)
+	_, sigma, reports := quantWorld(rng, 40, 200, []float64{1, 8}, 0.6)
+	em := QuantEM(40, 200, reports, 30)
+	for s := 0; s < 40; s++ {
+		est := em.Stddev[s]
+		want := sigma[s]
+		if est < want*0.5 || est > want*2 {
+			t.Errorf("source %d sigma estimate %.2f, truth %.2f", s, est, want)
+		}
+	}
+	if em.Iterations <= 0 {
+		t.Error("no iterations recorded")
+	}
+}
+
+func TestQuantEMEdges(t *testing.T) {
+	em := QuantEM(0, 0, nil, 0)
+	if len(em.Truth) != 0 || len(em.Stddev) != 0 {
+		t.Error("empty instance should return empty result")
+	}
+	// Out-of-range reports are ignored.
+	em2 := QuantEM(1, 1, []QuantReport{{Source: 5, Claim: 9, Value: 1}}, 5)
+	if em2.Truth[0] != 0 {
+		t.Errorf("orphan claim truth = %v, want untouched 0", em2.Truth[0])
+	}
+	if RMSE(nil, nil) != 0 {
+		t.Error("empty RMSE")
+	}
+}
+
+func TestMeanEstimateBasic(t *testing.T) {
+	got := MeanEstimate(2, []QuantReport{
+		{Source: 0, Claim: 0, Value: 10},
+		{Source: 1, Claim: 0, Value: 20},
+		{Source: 0, Claim: 5, Value: 99}, // out of range: ignored
+	})
+	if got[0] != 15 || got[1] != 0 {
+		t.Errorf("mean = %v", got)
+	}
+}

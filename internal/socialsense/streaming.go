@@ -1,0 +1,105 @@
+package socialsense
+
+import "math"
+
+// Streaming is the online counterpart of EM for the paper's ref [4]
+// ("parallel and streaming truth discovery in large-scale quantitative
+// crowdsourcing"): source reliabilities persist across report batches,
+// each batch's claims are resolved with a single Bayesian pass using the
+// current reliabilities, and the reliabilities are then updated with an
+// exponential moving average. Per-batch cost is linear in the batch,
+// and sources earn (or lose) standing cumulatively — the operational
+// mode for a running IoBT rather than a post-hoc dataset.
+type Streaming struct {
+	rel   []float64
+	alpha float64
+	// Batches counts ingests so far.
+	Batches int
+}
+
+// NewStreaming returns a tracker for the given source universe with
+// learning rate alpha in (0,1]; invalid alpha defaults to 0.2. Sources
+// start at the honest-majority anchor (0.7).
+func NewStreaming(sources int, alpha float64) *Streaming {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	rel := make([]float64, sources)
+	for i := range rel {
+		rel[i] = 0.7
+	}
+	return &Streaming{rel: rel, alpha: alpha}
+}
+
+// Reliability returns the current estimate for a source (0.5 for
+// unknown source indices).
+func (s *Streaming) Reliability(source int) float64 {
+	if source < 0 || source >= len(s.rel) {
+		return 0.5
+	}
+	return s.rel[source]
+}
+
+// Ingest resolves one batch: claims are indexed 0..claims-1 within the
+// batch; reports reference those indices and global source IDs. It
+// returns the posterior truth probability per claim and updates source
+// reliabilities.
+func (s *Streaming) Ingest(claims int, reports []Report) []float64 {
+	byClaim := make([][]Report, claims)
+	for _, r := range reports {
+		if r.Claim >= 0 && r.Claim < claims {
+			byClaim[r.Claim] = append(byClaim[r.Claim], r)
+		}
+	}
+	prob := make([]float64, claims)
+	for j := 0; j < claims; j++ {
+		logT, logF := 0.0, 0.0
+		for _, r := range byClaim[j] {
+			a := clamp01(s.Reliability(r.Source))
+			if r.Value {
+				logT += math.Log(a)
+				logF += math.Log(1 - a)
+			} else {
+				logT += math.Log(1 - a)
+				logF += math.Log(a)
+			}
+		}
+		m := math.Max(logT, logF)
+		pt, pf := math.Exp(logT-m), math.Exp(logF-m)
+		prob[j] = pt / (pt + pf)
+	}
+	// Reliability update: expected correctness of each source on this
+	// batch, blended into the running estimate.
+	num := make([]float64, len(s.rel))
+	den := make([]float64, len(s.rel))
+	for _, r := range reports {
+		if r.Source < 0 || r.Source >= len(s.rel) || r.Claim < 0 || r.Claim >= claims {
+			continue
+		}
+		p := prob[r.Claim]
+		if r.Value {
+			num[r.Source] += p
+		} else {
+			num[r.Source] += 1 - p
+		}
+		den[r.Source]++
+	}
+	for src := range s.rel {
+		if den[src] == 0 {
+			continue // silent this batch: no update
+		}
+		batchRel := num[src] / den[src]
+		s.rel[src] = (1-s.alpha)*s.rel[src] + s.alpha*batchRel
+	}
+	s.Batches++
+	return prob
+}
+
+// Estimates thresholds batch posteriors at 0.5.
+func Estimates(prob []float64) []bool {
+	out := make([]bool, len(prob))
+	for i, p := range prob {
+		out[i] = p >= 0.5
+	}
+	return out
+}

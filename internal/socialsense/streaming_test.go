@@ -1,0 +1,119 @@
+package socialsense
+
+import (
+	"testing"
+
+	"iobt/internal/sim"
+)
+
+// streamBatch draws one batch of claims and reports from a fixed source
+// population.
+func streamBatch(rng *sim.RNG, reliability []float64, claims int, observeProb float64) ([]bool, []Report) {
+	truth := make([]bool, claims)
+	var reports []Report
+	for j := range truth {
+		truth[j] = rng.Bool(0.5)
+	}
+	for s, rel := range reliability {
+		for j := 0; j < claims; j++ {
+			if !rng.Bool(observeProb) {
+				continue
+			}
+			v := truth[j]
+			if !rng.Bool(rel) {
+				v = !v
+			}
+			reports = append(reports, Report{Source: s, Claim: j, Value: v})
+		}
+	}
+	return truth, reports
+}
+
+func TestStreamingLearnsSourceReliability(t *testing.T) {
+	rng := sim.NewRNG(1)
+	// 30 sources: 20 good (0.9), 10 bad (0.2).
+	rel := make([]float64, 30)
+	for i := range rel {
+		if i < 20 {
+			rel[i] = 0.9
+		} else {
+			rel[i] = 0.2
+		}
+	}
+	st := NewStreaming(30, 0.3)
+	for b := 0; b < 20; b++ {
+		_, reports := streamBatch(rng, rel, 50, 0.4)
+		st.Ingest(50, reports)
+	}
+	if st.Batches != 20 {
+		t.Errorf("Batches = %d", st.Batches)
+	}
+	for i := 0; i < 20; i++ {
+		if st.Reliability(i) < 0.75 {
+			t.Errorf("good source %d estimated %.2f", i, st.Reliability(i))
+		}
+	}
+	for i := 20; i < 30; i++ {
+		if st.Reliability(i) > 0.45 {
+			t.Errorf("bad source %d estimated %.2f", i, st.Reliability(i))
+		}
+	}
+}
+
+func TestStreamingAccuracyApproachesBatchEM(t *testing.T) {
+	rng := sim.NewRNG(2)
+	rel := make([]float64, 40)
+	for i := range rel {
+		rel[i] = rng.Beta(5, 1.5)
+	}
+	st := NewStreaming(40, 0.3)
+	// Warm up on 10 batches.
+	for b := 0; b < 10; b++ {
+		_, reports := streamBatch(rng, rel, 40, 0.3)
+		st.Ingest(40, reports)
+	}
+	// Score on a fresh batch, against batch EM on that same batch.
+	truth, reports := streamBatch(rng, rel, 200, 0.3)
+	prob := st.Ingest(200, reports)
+	streamAcc := Accuracy(Estimates(prob), truth)
+
+	d := &Dataset{NumSources: 40, NumClaims: 200, Reports: reports, Truth: truth}
+	emAcc := Accuracy(EM(d, 50).Estimates(), truth)
+	if streamAcc < emAcc-0.05 {
+		t.Errorf("streaming accuracy %.3f far below batch EM %.3f", streamAcc, emAcc)
+	}
+	if streamAcc < 0.9 {
+		t.Errorf("streaming accuracy %.3f too low", streamAcc)
+	}
+}
+
+func TestStreamingSilentSourcesKeepEstimate(t *testing.T) {
+	st := NewStreaming(3, 0.5)
+	before := st.Reliability(2)
+	// Batch mentioning only sources 0 and 1.
+	st.Ingest(2, []Report{
+		{Source: 0, Claim: 0, Value: true},
+		{Source: 1, Claim: 0, Value: true},
+		{Source: 0, Claim: 1, Value: false},
+		{Source: 1, Claim: 1, Value: false},
+	})
+	if st.Reliability(2) != before {
+		t.Error("silent source's estimate changed")
+	}
+}
+
+func TestStreamingEdges(t *testing.T) {
+	st := NewStreaming(2, -1) // alpha defaults
+	if st.alpha != 0.2 {
+		t.Errorf("alpha = %v", st.alpha)
+	}
+	if st.Reliability(-1) != 0.5 || st.Reliability(99) != 0.5 {
+		t.Error("out-of-range source should return 0.5")
+	}
+	// Out-of-range claim indices are ignored, empty batch is fine.
+	prob := st.Ingest(1, []Report{{Source: 0, Claim: 5, Value: true}})
+	if len(prob) != 1 || prob[0] != 0.5 {
+		t.Errorf("prob = %v, want uninformed 0.5", prob)
+	}
+	_ = st.Ingest(0, nil)
+}

@@ -1,0 +1,151 @@
+package tomo
+
+import "sort"
+
+// PathObservation is one end-to-end probe outcome.
+type PathObservation struct {
+	Path Path
+	// OK reports whether the probe got through.
+	OK bool
+}
+
+// Diagnosis is the Boolean failure-localization verdict.
+type Diagnosis struct {
+	// Suspected are the links blamed for the failed paths.
+	Suspected []Link
+	// Exonerated are links proven healthy (they carried an OK path).
+	Exonerated []Link
+	// Unexplained counts failed paths whose links were all exonerated
+	// (inconsistent observations, e.g. transient loss).
+	Unexplained int
+}
+
+// Localize performs Boolean tomography: every link on an OK path is
+// healthy; the failed paths are then explained by a greedy minimal
+// hitting set over the remaining candidate links.
+func Localize(obs []PathObservation) *Diagnosis {
+	good := map[Link]bool{}
+	for _, o := range obs {
+		if o.OK {
+			for _, l := range o.Path.Links {
+				good[l] = true
+			}
+		}
+	}
+	// Candidate sets for each failed path.
+	type failedPath struct {
+		candidates map[Link]bool
+	}
+	var failed []failedPath
+	for _, o := range obs {
+		if o.OK {
+			continue
+		}
+		f := failedPath{candidates: map[Link]bool{}}
+		for _, l := range o.Path.Links {
+			if !good[l] {
+				f.candidates[l] = true
+			}
+		}
+		failed = append(failed, f)
+	}
+	d := &Diagnosis{}
+	for l := range good {
+		d.Exonerated = append(d.Exonerated, l)
+	}
+	sortLinks(d.Exonerated)
+
+	// Greedy hitting set: repeatedly blame the candidate link covering
+	// the most unexplained failed paths.
+	unexplained := make([]bool, len(failed))
+	for i := range unexplained {
+		unexplained[i] = true
+	}
+	remaining := 0
+	for i, f := range failed {
+		if len(f.candidates) == 0 {
+			unexplained[i] = false
+			d.Unexplained++
+		} else {
+			remaining++
+		}
+	}
+	blamed := map[Link]bool{}
+	for remaining > 0 {
+		counts := map[Link]int{}
+		for i, f := range failed {
+			if !unexplained[i] {
+				continue
+			}
+			for l := range f.candidates {
+				if !blamed[l] {
+					counts[l]++
+				}
+			}
+		}
+		var best Link
+		bestN := 0
+		// Deterministic tie-break by link order.
+		var cands []Link
+		for l := range counts {
+			cands = append(cands, l)
+		}
+		sortLinks(cands)
+		for _, l := range cands {
+			if counts[l] > bestN {
+				best, bestN = l, counts[l]
+			}
+		}
+		if bestN == 0 {
+			break
+		}
+		blamed[best] = true
+		for i, f := range failed {
+			if unexplained[i] && f.candidates[best] {
+				unexplained[i] = false
+				remaining--
+			}
+		}
+	}
+	for l := range blamed {
+		d.Suspected = append(d.Suspected, l)
+	}
+	sortLinks(d.Suspected)
+	return d
+}
+
+// Score compares a diagnosis against ground-truth failed links.
+type Score struct {
+	Precision, Recall float64
+}
+
+// Evaluate scores Suspected against the true failed set.
+func (d *Diagnosis) Evaluate(truth []Link) Score {
+	truthSet := map[Link]bool{}
+	for _, l := range truth {
+		truthSet[l] = true
+	}
+	hit := 0
+	for _, l := range d.Suspected {
+		if truthSet[l] {
+			hit++
+		}
+	}
+	s := Score{}
+	if len(d.Suspected) > 0 {
+		s.Precision = float64(hit) / float64(len(d.Suspected))
+	}
+	if len(truth) > 0 {
+		s.Recall = float64(hit) / float64(len(truth))
+	}
+	return s
+}
+
+func sortLinks(ls []Link) {
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].A != ls[j].A {
+			return ls[i].A < ls[j].A
+		}
+		return ls[i].B < ls[j].B
+	})
+}

@@ -1,0 +1,90 @@
+package tomo
+
+import (
+	"iobt/internal/asset"
+	"iobt/internal/mesh"
+)
+
+// PlaceMonitors greedily selects up to k monitors from candidates so as
+// to maximize the number of distinct links covered by monitor-pair
+// routes — the "monitor placement for maximal identifiability"
+// heuristic of the paper's ref [20]. It returns the chosen monitor IDs.
+func PlaceMonitors(net *mesh.Network, candidates []asset.ID, k int) []asset.ID {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	covered := map[Link]bool{}
+	var chosen []asset.ID
+
+	// coverageGain counts links newly covered by routes between cand and
+	// every already-chosen monitor.
+	coverageGain := func(cand asset.ID) int {
+		gain := 0
+		for _, m := range chosen {
+			route := net.Route(cand, m)
+			for i := 0; i+1 < len(route); i++ {
+				if !covered[MkLink(route[i], route[i+1])] {
+					gain++
+				}
+			}
+		}
+		return gain
+	}
+	commit := func(cand asset.ID) {
+		for _, m := range chosen {
+			route := net.Route(cand, m)
+			for i := 0; i+1 < len(route); i++ {
+				covered[MkLink(route[i], route[i+1])] = true
+			}
+		}
+		chosen = append(chosen, cand)
+	}
+
+	// Seed: the candidate pair with the longest route between them.
+	bestI, bestJ, bestLen := -1, -1, -1
+	for i := 0; i < len(candidates); i++ {
+		for j := i + 1; j < len(candidates); j++ {
+			if r := net.Route(candidates[i], candidates[j]); r != nil && len(r) > bestLen {
+				bestI, bestJ, bestLen = i, j, len(r)
+			}
+		}
+	}
+	if bestI < 0 {
+		// No connected pair; fall back to the first candidates.
+		for i := 0; i < k; i++ {
+			chosen = append(chosen, candidates[i])
+		}
+		return chosen
+	}
+	chosen = append(chosen, candidates[bestI])
+	commit(candidates[bestJ])
+
+	for len(chosen) < k {
+		best, bestGain := asset.None, -1
+		for _, cand := range candidates {
+			if contains(chosen, cand) {
+				continue
+			}
+			if g := coverageGain(cand); g > bestGain {
+				best, bestGain = cand, g
+			}
+		}
+		if best == asset.None {
+			break
+		}
+		commit(best)
+	}
+	return chosen
+}
+
+func contains(ids []asset.ID, id asset.ID) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

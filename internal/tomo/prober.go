@@ -1,0 +1,188 @@
+package tomo
+
+import (
+	"time"
+
+	"iobt/internal/asset"
+	"iobt/internal/mesh"
+	"iobt/internal/sim"
+)
+
+// Prober actively measures the mesh: every interval it sends a probe
+// between each monitor pair along the current route and records whether
+// it arrived (Boolean tomography input) and how long it took (additive
+// tomography input). Unlike CollectPaths — which snapshots topology —
+// the prober experiences real loss, jamming, queueing, and mid-flight
+// failures, making it the operational front end of the §V.A diagnostics.
+type Prober struct {
+	eng      *sim.Engine
+	net      *mesh.Network
+	monitors []asset.ID
+	timeout  time.Duration
+	ticker   *sim.Ticker
+
+	nextID  int
+	pending map[int]*probe
+
+	obs []PathObservation
+	// DelaySec records per-path measured delays, aligned with Delivered
+	// observations (failed probes contribute no delay sample).
+	delays map[pairKey]*sim.Series
+
+	// Sent and Lost count probes.
+	Sent sim.Counter
+	Lost sim.Counter
+}
+
+type pairKey struct{ a, b asset.ID }
+
+type probe struct {
+	path Path
+	sent time.Duration
+}
+
+// NewProber returns an unstarted prober over the monitor set. Timeout
+// is how long a probe may be in flight before it counts as lost; zero
+// defaults to 2s.
+func NewProber(eng *sim.Engine, net *mesh.Network, monitors []asset.ID, timeout time.Duration) *Prober {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	ms := make([]asset.ID, len(monitors))
+	copy(ms, monitors)
+	p := &Prober{
+		eng:      eng,
+		net:      net,
+		monitors: ms,
+		timeout:  timeout,
+		pending:  make(map[int]*probe),
+		delays:   make(map[pairKey]*sim.Series),
+	}
+	for _, m := range ms {
+		id := m
+		net.RegisterHandler(id, p.onDeliver)
+	}
+	return p
+}
+
+// Start begins periodic probing.
+func (p *Prober) Start(interval time.Duration) {
+	if p.ticker != nil {
+		return
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	p.ticker = p.eng.Every(interval, "tomo.probe", p.Round)
+}
+
+// Stop halts probing.
+func (p *Prober) Stop() {
+	if p.ticker != nil {
+		p.ticker.Stop()
+		p.ticker = nil
+	}
+}
+
+// Round sends one probe per monitor pair along the current route.
+// Unroutable pairs are recorded immediately as failed observations of
+// their last known path (if any) — silence is evidence too.
+func (p *Prober) Round() {
+	for i := 0; i < len(p.monitors); i++ {
+		for j := i + 1; j < len(p.monitors); j++ {
+			p.probePair(p.monitors[i], p.monitors[j])
+		}
+	}
+}
+
+func (p *Prober) probePair(a, b asset.ID) {
+	route := p.net.Route(a, b)
+	if route == nil || len(route) < 2 {
+		return // nothing known to blame; Boolean tomography needs a path
+	}
+	pr := &probe{sent: p.eng.Now()}
+	pr.path = Path{From: a, To: b}
+	for k := 0; k+1 < len(route); k++ {
+		pr.path.Links = append(pr.path.Links, MkLink(route[k], route[k+1]))
+	}
+	id := p.nextID
+	p.nextID++
+	p.pending[id] = pr
+	p.Sent.Inc()
+	err := p.net.Send(mesh.Message{From: a, To: b, Size: 64, Kind: "probe", Payload: id})
+	if err != nil {
+		p.fail(id)
+		return
+	}
+	p.eng.Schedule(p.timeout, "tomo.timeout", func() { p.fail(id) })
+}
+
+func (p *Prober) onDeliver(msg mesh.Message) {
+	if msg.Kind != "probe" {
+		return
+	}
+	id, ok := msg.Payload.(int)
+	if !ok {
+		return
+	}
+	pr, live := p.pending[id]
+	if !live {
+		return // already timed out
+	}
+	delete(p.pending, id)
+	p.obs = append(p.obs, PathObservation{Path: pr.path, OK: true})
+	key := pairKey{pr.path.From, pr.path.To}
+	s, have := p.delays[key]
+	if !have {
+		s = &sim.Series{}
+		p.delays[key] = s
+	}
+	s.AddDuration(p.eng.Now() - pr.sent)
+}
+
+func (p *Prober) fail(id int) {
+	pr, live := p.pending[id]
+	if !live {
+		return
+	}
+	delete(p.pending, id)
+	p.Lost.Inc()
+	p.obs = append(p.obs, PathObservation{Path: pr.path, OK: false})
+}
+
+// Observations returns a copy of accumulated path observations.
+func (p *Prober) Observations() []PathObservation {
+	out := make([]PathObservation, len(p.obs))
+	copy(out, p.obs)
+	return out
+}
+
+// Window returns the most recent n observations (or all if fewer).
+func (p *Prober) Window(n int) []PathObservation {
+	if n >= len(p.obs) {
+		return p.Observations()
+	}
+	out := make([]PathObservation, n)
+	copy(out, p.obs[len(p.obs)-n:])
+	return out
+}
+
+// MeanDelay returns the mean measured delay between two monitors in
+// seconds, and whether any sample exists.
+func (p *Prober) MeanDelay(a, b asset.ID) (float64, bool) {
+	s, ok := p.delays[pairKey{a, b}]
+	if !ok || s.N() == 0 {
+		// Probes store From/To in probePair order; try the flip.
+		s, ok = p.delays[pairKey{b, a}]
+		if !ok || s.N() == 0 {
+			return 0, false
+		}
+	}
+	return s.Mean(), true
+}
+
+// Diagnose runs Boolean localization over the latest window of
+// observations.
+func (p *Prober) Diagnose(window int) *Diagnosis {
+	return Localize(p.Window(window))
+}

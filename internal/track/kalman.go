@@ -1,0 +1,135 @@
+// Package track implements multi-target tracking, the paper's flagship
+// battlefield service (§II: "tracking a dispersed group of humans and
+// vehicles moving through cluttered environments"). Composite sensors
+// produce noisy position detections; constant-velocity Kalman filters
+// smooth them; a nearest-neighbor tracker with gating associates
+// detections to tracks, spawns tracks for new targets, coasts through
+// short occlusions, and hands targets off between sensors as they move.
+package track
+
+import "iobt/internal/geo"
+
+// KalmanCV is a 2-D constant-velocity Kalman filter with state
+// [x, y, vx, vy]. Matrices are unrolled for the fixed 4x4 case.
+type KalmanCV struct {
+	// X is the state estimate.
+	X [4]float64
+	// P is the state covariance (row-major 4x4).
+	P [16]float64
+	// Q scales process noise (acceleration variance, m^2/s^4).
+	Q float64
+}
+
+// NewKalmanCV returns a filter initialized at position z with unknown
+// velocity: large velocity variance, measurement-level position
+// variance.
+func NewKalmanCV(z geo.Point, posVar, q float64) *KalmanCV {
+	if posVar <= 0 {
+		posVar = 25
+	}
+	if q <= 0 {
+		q = 1
+	}
+	k := &KalmanCV{Q: q}
+	k.X[0], k.X[1] = z.X, z.Y
+	k.P[0] = posVar // var(x)
+	k.P[5] = posVar // var(y)
+	k.P[10] = 100   // var(vx): unknown velocity
+	k.P[15] = 100   // var(vy)
+	return k
+}
+
+// Pos returns the estimated position.
+func (k *KalmanCV) Pos() geo.Point { return geo.Point{X: k.X[0], Y: k.X[1]} }
+
+// Vel returns the estimated velocity vector.
+func (k *KalmanCV) Vel() geo.Vec { return geo.Vec{DX: k.X[2], DY: k.X[3]} }
+
+// PosVar returns the larger of the two position variances — the gate
+// radius scale.
+func (k *KalmanCV) PosVar() float64 {
+	if k.P[0] > k.P[5] {
+		return k.P[0]
+	}
+	return k.P[5]
+}
+
+// Predict advances the state by dt seconds.
+func (k *KalmanCV) Predict(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	// State: x += vx*dt, y += vy*dt.
+	k.X[0] += k.X[2] * dt
+	k.X[1] += k.X[3] * dt
+
+	// P = F P F^T + Q, with F = [I, dt*I; 0, I] in 2x2 blocks, and the
+	// white-acceleration process noise.
+	p := &k.P
+	// Since x and y are decoupled, update the (x,vx) and (y,vy) pairs.
+	// Index helpers: state order [x y vx vy].
+	// Pair (0,2): entries P[0]=xx, P[2]=x,vx, P[8]=vx,x, P[10]=vx,vx.
+	updatePair(p, 0, 2, dt, k.Q)
+	// Pair (1,3).
+	updatePair(p, 1, 3, dt, k.Q)
+}
+
+// updatePair applies the 2x2 CV covariance propagation for state pair
+// (i = position index, j = velocity index).
+func updatePair(p *[16]float64, i, j int, dt, q float64) {
+	pp := p[i*4+i]
+	pv := p[i*4+j]
+	vp := p[j*4+i]
+	vv := p[j*4+j]
+
+	nPP := pp + dt*(pv+vp) + dt*dt*vv
+	nPV := pv + dt*vv
+	nVP := vp + dt*vv
+	nVV := vv
+
+	// Discrete white-noise acceleration.
+	dt2 := dt * dt
+	nPP += q * dt2 * dt2 / 4
+	nPV += q * dt2 * dt / 2
+	nVP += q * dt2 * dt / 2
+	nVV += q * dt2
+
+	p[i*4+i] = nPP
+	p[i*4+j] = nPV
+	p[j*4+i] = nVP
+	p[j*4+j] = nVV
+}
+
+// Update fuses a position measurement z with variance r (per axis).
+func (k *KalmanCV) Update(z geo.Point, r float64) {
+	if r <= 0 {
+		r = 1
+	}
+	// Decoupled per-axis update (H = [1 0 0 0; 0 1 0 0]).
+	k.updateAxis(0, 2, z.X, r)
+	k.updateAxis(1, 3, z.Y, r)
+}
+
+func (k *KalmanCV) updateAxis(i, j int, z, r float64) {
+	p := &k.P
+	pp := p[i*4+i]
+	pv := p[i*4+j]
+	vp := p[j*4+i]
+	vv := p[j*4+j]
+
+	s := pp + r
+	if s <= 0 {
+		return
+	}
+	kp := pp / s // Kalman gain for position component
+	kv := vp / s // gain for velocity component
+	innov := z - k.X[i]
+	k.X[i] += kp * innov
+	k.X[j] += kv * innov
+
+	// P = (I - K H) P for the 2x2 sub-block.
+	p[i*4+i] = (1 - kp) * pp
+	p[i*4+j] = (1 - kp) * pv
+	p[j*4+i] = vp - kv*pp
+	p[j*4+j] = vv - kv*pv
+}

@@ -1,0 +1,249 @@
+package track
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"iobt/internal/geo"
+	"iobt/internal/sim"
+)
+
+func TestKalmanConvergesOnLinearMotion(t *testing.T) {
+	rng := sim.NewRNG(1)
+	// Truth: starts at (0,0), moves at (5,-3) m/s; measurements sigma=3.
+	kf := NewKalmanCV(geo.Point{X: 0, Y: 0}, 9, 1)
+	truth := geo.Point{}
+	vel := geo.Vec{DX: 5, DY: -3}
+	for i := 0; i < 100; i++ {
+		truth = truth.Add(vel)
+		kf.Predict(1)
+		z := truth.Add(geo.Vec{DX: rng.Norm(0, 3), DY: rng.Norm(0, 3)})
+		kf.Update(z, 9)
+	}
+	if d := kf.Pos().Dist(truth); d > 3 {
+		t.Errorf("position error = %.2f m after 100 updates", d)
+	}
+	v := kf.Vel()
+	if math.Abs(v.DX-5) > 0.5 || math.Abs(v.DY+3) > 0.5 {
+		t.Errorf("velocity estimate = %+v, want ~(5,-3)", v)
+	}
+	// Covariance should have shrunk far below the unknown-velocity prior.
+	if kf.PosVar() > 9 {
+		t.Errorf("posterior position variance = %.2f", kf.PosVar())
+	}
+}
+
+func TestKalmanPredictGrowsUncertainty(t *testing.T) {
+	kf := NewKalmanCV(geo.Point{}, 9, 2)
+	before := kf.PosVar()
+	kf.Predict(5)
+	if kf.PosVar() <= before {
+		t.Error("prediction did not grow position variance")
+	}
+	kf.Predict(0)  // no-op
+	kf.Predict(-1) // no-op
+}
+
+func TestKalmanUpdateShrinksUncertainty(t *testing.T) {
+	kf := NewKalmanCV(geo.Point{}, 100, 1)
+	before := kf.PosVar()
+	kf.Update(geo.Point{X: 1, Y: 1}, 4)
+	if kf.PosVar() >= before {
+		t.Error("update did not shrink variance")
+	}
+	kf.Update(geo.Point{}, 0) // invalid variance defaults, no panic
+}
+
+func TestTrackerFollowsSingleTarget(t *testing.T) {
+	rng := sim.NewRNG(2)
+	tr := NewTracker(Config{})
+	truth := geo.Point{X: 100, Y: 100}
+	vel := geo.Vec{DX: 4, DY: 2}
+	now := time.Duration(0)
+	for i := 0; i < 60; i++ {
+		now += time.Second
+		truth = truth.Add(vel)
+		det := Detection{Pos: truth.Add(geo.Vec{DX: rng.Norm(0, 2), DY: rng.Norm(0, 2)}), Var: 4, Sensor: 1}
+		tr.Observe(now, []Detection{det})
+	}
+	tracks := tr.Tracks()
+	if len(tracks) != 1 {
+		t.Fatalf("confirmed tracks = %d, want 1", len(tracks))
+	}
+	if d := tracks[0].Pos().Dist(truth); d > 6 {
+		t.Errorf("track error = %.2f m", d)
+	}
+	if tr.Dropped != 0 {
+		t.Errorf("dropped = %d", tr.Dropped)
+	}
+}
+
+func TestTrackerSeparatesTwoTargets(t *testing.T) {
+	rng := sim.NewRNG(3)
+	tr := NewTracker(Config{})
+	a := geo.Point{X: 0, Y: 0}
+	b := geo.Point{X: 400, Y: 0}
+	now := time.Duration(0)
+	for i := 0; i < 40; i++ {
+		now += time.Second
+		a = a.Add(geo.Vec{DX: 3, DY: 0})
+		b = b.Add(geo.Vec{DX: -3, DY: 0})
+		tr.Observe(now, []Detection{
+			{Pos: a.Add(geo.Vec{DX: rng.Norm(0, 1), DY: rng.Norm(0, 1)}), Var: 1, Sensor: 1},
+			{Pos: b.Add(geo.Vec{DX: rng.Norm(0, 1), DY: rng.Norm(0, 1)}), Var: 1, Sensor: 2},
+		})
+	}
+	if got := len(tr.Tracks()); got != 2 {
+		t.Fatalf("confirmed tracks = %d, want 2", got)
+	}
+	// Each truth position must have a nearby distinct track.
+	ta, da := tr.Nearest(a)
+	tb, db := tr.Nearest(b)
+	if ta == nil || tb == nil || ta.ID == tb.ID {
+		t.Fatal("targets share a track")
+	}
+	if da > 10 || db > 10 {
+		t.Errorf("errors = %.1f, %.1f", da, db)
+	}
+}
+
+func TestTrackerCoastsThroughOcclusion(t *testing.T) {
+	rng := sim.NewRNG(4)
+	tr := NewTracker(Config{CoastTime: 10 * time.Second})
+	truth := geo.Point{X: 0, Y: 0}
+	now := time.Duration(0)
+	step := func(detect bool) {
+		now += time.Second
+		truth = truth.Add(geo.Vec{DX: 5, DY: 0})
+		var dets []Detection
+		if detect {
+			dets = append(dets, Detection{Pos: truth.Add(geo.Vec{DX: rng.Norm(0, 1), DY: rng.Norm(0, 1)}), Var: 1, Sensor: 1})
+		}
+		tr.Observe(now, dets)
+	}
+	for i := 0; i < 20; i++ {
+		step(true)
+	}
+	id := tr.Tracks()[0].ID
+	for i := 0; i < 5; i++ { // occluded for 5s < CoastTime
+		step(false)
+	}
+	for i := 0; i < 10; i++ {
+		step(true)
+	}
+	tracks := tr.Tracks()
+	if len(tracks) != 1 {
+		t.Fatalf("tracks after occlusion = %d", len(tracks))
+	}
+	if tracks[0].ID != id {
+		t.Error("track identity lost across occlusion (should coast)")
+	}
+}
+
+func TestTrackerDropsStaleTrack(t *testing.T) {
+	tr := NewTracker(Config{CoastTime: 3 * time.Second})
+	now := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		now += time.Second
+		tr.Observe(now, []Detection{{Pos: geo.Point{X: float64(i), Y: 0}, Var: 1, Sensor: 1}})
+	}
+	// Target disappears for good.
+	for i := 0; i < 10; i++ {
+		now += time.Second
+		tr.Observe(now, nil)
+	}
+	if len(tr.All()) != 0 {
+		t.Errorf("stale track survived: %d", len(tr.All()))
+	}
+	if tr.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", tr.Dropped)
+	}
+}
+
+func TestTrackerSensorHandoff(t *testing.T) {
+	rng := sim.NewRNG(5)
+	tr := NewTracker(Config{})
+	truth := geo.Point{X: 0, Y: 0}
+	now := time.Duration(0)
+	for i := 0; i < 40; i++ {
+		now += time.Second
+		truth = truth.Add(geo.Vec{DX: 10, DY: 0})
+		sensor := int32(1)
+		if truth.X > 200 {
+			sensor = 2 // target crossed into the second sensor's footprint
+		}
+		tr.Observe(now, []Detection{{Pos: truth.Add(geo.Vec{DX: rng.Norm(0, 1), DY: rng.Norm(0, 1)}), Var: 1, Sensor: sensor}})
+	}
+	tracks := tr.Tracks()
+	if len(tracks) != 1 {
+		t.Fatalf("tracks = %d, want 1 across handoff", len(tracks))
+	}
+	if !tracks[0].Sensors[1] || !tracks[0].Sensors[2] {
+		t.Errorf("handoff trail = %v, want both sensors", tracks[0].Sensors)
+	}
+}
+
+func TestScenarioContinuityImprovesWithSensorDensity(t *testing.T) {
+	continuity := func(nSensors int) float64 {
+		rng := sim.NewRNG(6)
+		var targets []geo.Mobility
+		for i := 0; i < 4; i++ {
+			targets = append(targets, geo.NewPatrol([]geo.Point{
+				{X: 100, Y: float64(150 + 150*i)}, {X: 900, Y: float64(150 + 150*i)},
+			}, 8))
+		}
+		var sensors []Sensor
+		cols := nSensors / 2
+		for i := 0; i < nSensors; i++ {
+			x := 100 + float64(i%cols)*(800/float64(cols-1))
+			y := 250.0
+			if i >= cols {
+				y = 600
+			}
+			sensors = append(sensors, Sensor{
+				ID: int32(i), Mob: &geo.Static{P: geo.Point{X: x, Y: y}},
+				Range: 220, Var: 16, DetectProb: 0.8,
+			})
+		}
+		sc := NewScenario(rng, targets, sensors, Config{})
+		sc.Run(3*time.Minute, time.Second)
+		return sc.Continuity.Mean()
+	}
+	sparse := continuity(4)
+	dense := continuity(10)
+	if dense <= sparse {
+		t.Errorf("continuity sparse=%.2f dense=%.2f; want improvement", sparse, dense)
+	}
+	if dense < 0.6 {
+		t.Errorf("dense continuity = %.2f, want >= 0.6", dense)
+	}
+}
+
+func TestScenarioRMSEBounded(t *testing.T) {
+	rng := sim.NewRNG(7)
+	targets := []geo.Mobility{geo.NewPatrol([]geo.Point{{X: 100, Y: 300}, {X: 700, Y: 300}}, 6)}
+	sensors := []Sensor{
+		{ID: 1, Mob: &geo.Static{P: geo.Point{X: 250, Y: 300}}, Range: 250, Var: 9, DetectProb: 0.9},
+		{ID: 2, Mob: &geo.Static{P: geo.Point{X: 600, Y: 300}}, Range: 250, Var: 9, DetectProb: 0.9},
+	}
+	// Patrolling targets reverse instantly at waypoints, which a CV
+	// filter only survives with maneuver-scale process noise (the
+	// standard tuning rule: q ~ max expected acceleration squared).
+	sc := NewScenario(rng, targets, sensors, Config{ProcessNoise: 36})
+	sc.Run(4*time.Minute, time.Second)
+	if sc.Continuity.Mean() < 0.8 {
+		t.Errorf("continuity = %.2f", sc.Continuity.Mean())
+	}
+	if sc.RMSE.Mean() > 12 {
+		t.Errorf("mean error = %.2f m (measurement sigma is 3)", sc.RMSE.Mean())
+	}
+	if sc.Detections.Value() == 0 {
+		t.Error("no detections")
+	}
+	// Handoff happened: the single confirmed track saw both sensors.
+	tracks := sc.Tracker().Tracks()
+	if len(tracks) == 1 && (!tracks[0].Sensors[1] || !tracks[0].Sensors[2]) {
+		t.Error("no sensor handoff recorded")
+	}
+}

@@ -1,0 +1,205 @@
+package track
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"iobt/internal/geo"
+)
+
+// Detection is one noisy position report from a sensor.
+type Detection struct {
+	Pos geo.Point
+	// Var is the per-axis measurement variance (sensor accuracy).
+	Var float64
+	// Sensor identifies the reporting asset (for handoff accounting).
+	Sensor int32
+}
+
+// Track is one maintained target hypothesis.
+type Track struct {
+	ID int
+	kf *KalmanCV
+	// LastUpdate is the virtual time of the last associated detection.
+	LastUpdate time.Duration
+	// Hits counts associated detections; tracks below ConfirmHits are
+	// tentative.
+	Hits int
+	// Sensors lists distinct sensors that contributed (handoff trail).
+	Sensors map[int32]bool
+}
+
+// Pos returns the track's current position estimate.
+func (t *Track) Pos() geo.Point { return t.kf.Pos() }
+
+// Vel returns the track's velocity estimate.
+func (t *Track) Vel() geo.Vec { return t.kf.Vel() }
+
+// Confirmed reports whether the track has enough support.
+func (t *Track) Confirmed() bool { return t.Hits >= 3 }
+
+// Config parameterizes the tracker.
+type Config struct {
+	// Gate is the association gate in standard deviations (default 4).
+	Gate float64
+	// CoastTime keeps an unassociated track alive this long (default 5s).
+	CoastTime time.Duration
+	// ProcessNoise is the Kalman Q (default 2).
+	ProcessNoise float64
+}
+
+// Tracker maintains multi-target tracks from detection batches.
+type Tracker struct {
+	cfg    Config
+	tracks []*Track
+	nextID int
+	now    time.Duration
+
+	// IDSwitches counts confirmed tracks dropped while their target was
+	// still being detected nearby (continuity failures are counted by
+	// the scenario harness; this counts hard drops).
+	Dropped int
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker(cfg Config) *Tracker {
+	if cfg.Gate <= 0 {
+		cfg.Gate = 4
+	}
+	if cfg.CoastTime <= 0 {
+		cfg.CoastTime = 5 * time.Second
+	}
+	if cfg.ProcessNoise <= 0 {
+		cfg.ProcessNoise = 2
+	}
+	return &Tracker{cfg: cfg}
+}
+
+// Tracks returns the confirmed tracks.
+func (tr *Tracker) Tracks() []*Track {
+	out := make([]*Track, 0, len(tr.tracks))
+	for _, t := range tr.tracks {
+		if t.Confirmed() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// All returns every track including tentative ones.
+func (tr *Tracker) All() []*Track { return tr.tracks }
+
+// Observe advances all tracks to now, associates the detection batch
+// (greedy nearest-neighbor within the gate), updates matched tracks,
+// spawns tentative tracks for unmatched detections, and drops tracks
+// that have coasted too long.
+func (tr *Tracker) Observe(now time.Duration, detections []Detection) {
+	dt := (now - tr.now).Seconds()
+	tr.now = now
+	for _, t := range tr.tracks {
+		t.kf.Predict(dt)
+	}
+
+	// Build candidate pairs within gates, closest first (greedy GNN).
+	type pair struct {
+		ti, di int
+		d      float64
+	}
+	var pairs []pair
+	for ti, t := range tr.tracks {
+		gate := tr.cfg.Gate * math.Sqrt(t.kf.PosVar()+1)
+		for di := range detections {
+			d := t.kf.Pos().Dist(detections[di].Pos)
+			if d <= gate {
+				pairs = append(pairs, pair{ti, di, d})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].d != pairs[j].d {
+			return pairs[i].d < pairs[j].d
+		}
+		if pairs[i].ti != pairs[j].ti {
+			return pairs[i].ti < pairs[j].ti
+		}
+		return pairs[i].di < pairs[j].di
+	})
+	usedT := make(map[int]bool, len(tr.tracks))
+	usedD := make(map[int]bool, len(detections))
+	for _, p := range pairs {
+		if usedT[p.ti] || usedD[p.di] {
+			continue
+		}
+		usedT[p.ti] = true
+		usedD[p.di] = true
+		t := tr.tracks[p.ti]
+		det := detections[p.di]
+		t.kf.Update(det.Pos, det.Var)
+		t.LastUpdate = now
+		t.Hits++
+		t.Sensors[det.Sensor] = true
+	}
+
+	// Spawn tentative tracks for unmatched detections — except those
+	// inside an existing track's gate: when two sensors detect the same
+	// target in an overlap zone, the surplus detection must not spawn a
+	// duplicate track that would steal future detections and kill the
+	// original (track-identity churn at handoff boundaries).
+	for di := range detections {
+		if usedD[di] {
+			continue
+		}
+		det := detections[di]
+		duplicate := false
+		for _, t := range tr.tracks {
+			gate := tr.cfg.Gate * math.Sqrt(t.kf.PosVar()+1)
+			if t.kf.Pos().Dist(det.Pos) <= gate {
+				duplicate = true
+				break
+			}
+		}
+		if duplicate {
+			continue
+		}
+		t := &Track{
+			ID:         tr.nextID,
+			kf:         NewKalmanCV(det.Pos, det.Var, tr.cfg.ProcessNoise),
+			LastUpdate: now,
+			Hits:       1,
+			Sensors:    map[int32]bool{det.Sensor: true},
+		}
+		tr.nextID++
+		tr.tracks = append(tr.tracks, t)
+	}
+
+	// Drop stale tracks.
+	keep := tr.tracks[:0]
+	for _, t := range tr.tracks {
+		if now-t.LastUpdate <= tr.cfg.CoastTime {
+			keep = append(keep, t)
+			continue
+		}
+		if t.Confirmed() {
+			tr.Dropped++
+		}
+	}
+	tr.tracks = keep
+}
+
+// Nearest returns the confirmed track closest to p and its distance, or
+// nil when no confirmed track exists.
+func (tr *Tracker) Nearest(p geo.Point) (*Track, float64) {
+	var best *Track
+	bestD := 0.0
+	for _, t := range tr.tracks {
+		if !t.Confirmed() {
+			continue
+		}
+		d := t.Pos().Dist(p)
+		if best == nil || d < bestD {
+			best, bestD = t, d
+		}
+	}
+	return best, bestD
+}

@@ -1,0 +1,173 @@
+// Package trust maintains per-asset trust scores using Beta-reputation
+// bookkeeping: each node accumulates positive and negative evidence from
+// discovery, truth-finding, anomaly detection, and mission outcomes, and
+// its score is the posterior expectation of behaving correctly.
+//
+// Trust is the cross-cutting security signal of the paper (§II, §VI): it
+// gates which discovered assets composition will recruit and which peers
+// learning will aggregate from.
+package trust
+
+import (
+	"math"
+	"sort"
+
+	"iobt/internal/asset"
+)
+
+// Evidence identifies where an observation came from, for audit and for
+// source-specific weighting.
+type Evidence int
+
+// Evidence sources.
+const (
+	EvDiscovery Evidence = iota + 1 // fingerprint/probe consistency
+	EvTruth                         // truth-discovery reliability estimate
+	EvAnomaly                       // anomaly detector verdicts
+	EvMission                       // post-mission outcome audit
+)
+
+// weights scale how strongly each evidence source moves the posterior.
+var weights = map[Evidence]float64{
+	EvDiscovery: 1,
+	EvTruth:     2,
+	EvAnomaly:   1.5,
+	EvMission:   3,
+}
+
+type record struct {
+	alpha, beta float64 // Beta(alpha, beta) posterior
+}
+
+// Ledger tracks trust for a world's assets. The zero ledger is not
+// usable; construct with NewLedger.
+type Ledger struct {
+	records map[asset.ID]*record
+	// PriorAlpha/PriorBeta set the uninformed prior; defaults 1,1
+	// (uniform) giving new nodes score 0.5.
+	priorAlpha, priorBeta float64
+}
+
+// NewLedger returns an empty ledger with a uniform prior.
+func NewLedger() *Ledger {
+	return &Ledger{
+		records:    make(map[asset.ID]*record),
+		priorAlpha: 1,
+		priorBeta:  1,
+	}
+}
+
+// SetPrior replaces the prior used for unseen nodes. Non-positive
+// parameters are rejected (ignored).
+func (l *Ledger) SetPrior(alpha, beta float64) {
+	if alpha <= 0 || beta <= 0 {
+		return
+	}
+	l.priorAlpha, l.priorBeta = alpha, beta
+}
+
+func (l *Ledger) rec(id asset.ID) *record {
+	r, ok := l.records[id]
+	if !ok {
+		r = &record{alpha: l.priorAlpha, beta: l.priorBeta}
+		l.records[id] = r
+	}
+	return r
+}
+
+// Observe records one observation about id: good=true is supporting
+// evidence, good=false is incriminating. The evidence source sets the
+// update weight.
+func (l *Ledger) Observe(id asset.ID, src Evidence, good bool) {
+	w, ok := weights[src]
+	if !ok {
+		w = 1
+	}
+	r := l.rec(id)
+	if good {
+		r.alpha += w
+	} else {
+		r.beta += w
+	}
+}
+
+// Score returns the trust score of id in (0,1): the mean of its Beta
+// posterior. Unseen nodes return the prior mean.
+func (l *Ledger) Score(id asset.ID) float64 {
+	r, ok := l.records[id]
+	if !ok {
+		return l.priorAlpha / (l.priorAlpha + l.priorBeta)
+	}
+	return r.alpha / (r.alpha + r.beta)
+}
+
+// Confidence returns how much evidence backs the score, as 1 - the
+// posterior standard deviation normalized to the prior's. Ranges (0,1];
+// higher is more settled.
+func (l *Ledger) Confidence(id asset.ID) float64 {
+	r, ok := l.records[id]
+	if !ok {
+		return 0
+	}
+	s := r.alpha + r.beta
+	sd := math.Sqrt(r.alpha * r.beta / (s * s * (s + 1)))
+	prior := l.priorAlpha + l.priorBeta
+	sdPrior := math.Sqrt(l.priorAlpha * l.priorBeta / (prior * prior * (prior + 1)))
+	if sdPrior == 0 {
+		return 1
+	}
+	c := 1 - sd/sdPrior
+	if c < 0 {
+		c = 0
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// Decay multiplies all accumulated evidence by factor in (0,1], pulling
+// scores back toward the prior. Call periodically so stale reputations
+// fade (nodes can be captured mid-mission).
+func (l *Ledger) Decay(factor float64) {
+	if factor <= 0 || factor >= 1 {
+		return
+	}
+	for _, r := range l.records {
+		r.alpha = l.priorAlpha + (r.alpha-l.priorAlpha)*factor
+		r.beta = l.priorBeta + (r.beta-l.priorBeta)*factor
+	}
+}
+
+// Trusted reports whether id's score meets the threshold.
+func (l *Ledger) Trusted(id asset.ID, threshold float64) bool {
+	return l.Score(id) >= threshold
+}
+
+// Suspects returns all ids with score below threshold, worst first.
+func (l *Ledger) Suspects(threshold float64) []asset.ID {
+	type pair struct {
+		id asset.ID
+		s  float64
+	}
+	var out []pair
+	for id := range l.records {
+		if s := l.Score(id); s < threshold {
+			out = append(out, pair{id, s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].s != out[j].s {
+			return out[i].s < out[j].s
+		}
+		return out[i].id < out[j].id
+	})
+	ids := make([]asset.ID, len(out))
+	for i, p := range out {
+		ids[i] = p.id
+	}
+	return ids
+}
+
+// Len returns the number of nodes with recorded evidence.
+func (l *Ledger) Len() int { return len(l.records) }

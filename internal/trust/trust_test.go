@@ -1,0 +1,166 @@
+package trust
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPriorScore(t *testing.T) {
+	l := NewLedger()
+	if got := l.Score(1); got != 0.5 {
+		t.Errorf("prior score = %v, want 0.5", got)
+	}
+	if l.Confidence(1) != 0 {
+		t.Error("unseen node should have zero confidence")
+	}
+}
+
+func TestObserveMovesScore(t *testing.T) {
+	l := NewLedger()
+	l.Observe(1, EvMission, true)
+	if l.Score(1) <= 0.5 {
+		t.Error("good evidence should raise score")
+	}
+	l2 := NewLedger()
+	l2.Observe(1, EvMission, false)
+	if l2.Score(1) >= 0.5 {
+		t.Error("bad evidence should lower score")
+	}
+}
+
+func TestEvidenceWeighting(t *testing.T) {
+	a, b := NewLedger(), NewLedger()
+	a.Observe(1, EvDiscovery, true) // weight 1
+	b.Observe(1, EvMission, true)   // weight 3
+	if b.Score(1) <= a.Score(1) {
+		t.Errorf("mission evidence should move score more: %v vs %v", b.Score(1), a.Score(1))
+	}
+	// Unknown evidence source defaults to weight 1.
+	c := NewLedger()
+	c.Observe(1, Evidence(99), true)
+	if c.Score(1) != a.Score(1) {
+		t.Error("unknown evidence should weigh 1")
+	}
+}
+
+func TestConfidenceGrows(t *testing.T) {
+	l := NewLedger()
+	l.Observe(1, EvDiscovery, true)
+	c1 := l.Confidence(1)
+	for i := 0; i < 20; i++ {
+		l.Observe(1, EvDiscovery, true)
+	}
+	c2 := l.Confidence(1)
+	if c2 <= c1 {
+		t.Errorf("confidence did not grow: %v -> %v", c1, c2)
+	}
+	if c2 > 1 {
+		t.Errorf("confidence out of range: %v", c2)
+	}
+}
+
+func TestDecayPullsTowardPrior(t *testing.T) {
+	l := NewLedger()
+	for i := 0; i < 10; i++ {
+		l.Observe(1, EvMission, false)
+	}
+	before := l.Score(1)
+	l.Decay(0.5)
+	after := l.Score(1)
+	if !(before < after && after < 0.5) {
+		t.Errorf("decay wrong: %v -> %v", before, after)
+	}
+	l.Decay(0)   // invalid, no-op
+	l.Decay(1.5) // invalid, no-op
+	if l.Score(1) != after {
+		t.Error("invalid decay factors should be ignored")
+	}
+}
+
+func TestTrustedAndSuspects(t *testing.T) {
+	l := NewLedger()
+	for i := 0; i < 5; i++ {
+		l.Observe(1, EvMission, false)
+		l.Observe(2, EvMission, true)
+		l.Observe(3, EvAnomaly, false)
+	}
+	if l.Trusted(1, 0.5) {
+		t.Error("bad node should not be trusted at 0.5")
+	}
+	if !l.Trusted(2, 0.5) {
+		t.Error("good node should be trusted")
+	}
+	sus := l.Suspects(0.5)
+	if len(sus) != 2 {
+		t.Fatalf("Suspects = %v", sus)
+	}
+	// Node 1 has stronger negative evidence (weight 3 vs 1.5) so comes first.
+	if sus[0] != 1 || sus[1] != 3 {
+		t.Errorf("Suspects order = %v, want [1 3]", sus)
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestSetPrior(t *testing.T) {
+	l := NewLedger()
+	l.SetPrior(9, 1)
+	if got := l.Score(1); got != 0.9 {
+		t.Errorf("score with 9:1 prior = %v", got)
+	}
+	l.SetPrior(-1, 2) // rejected
+	if got := l.Score(1); got != 0.9 {
+		t.Errorf("invalid prior applied: %v", got)
+	}
+}
+
+// Property: scores always stay strictly inside (0,1) and more good
+// evidence never lowers the score.
+func TestScoreInvariants(t *testing.T) {
+	prop := func(obs []bool) bool {
+		l := NewLedger()
+		prev := l.Score(7)
+		for _, good := range obs {
+			l.Observe(7, EvTruth, good)
+			s := l.Score(7)
+			if s <= 0 || s >= 1 {
+				return false
+			}
+			if good && s < prev {
+				return false
+			}
+			if !good && s > prev {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decay never crosses the prior (monotone pull toward 0.5).
+func TestDecayInvariant(t *testing.T) {
+	prop := func(goods uint8, bads uint8) bool {
+		l := NewLedger()
+		for i := 0; i < int(goods); i++ {
+			l.Observe(1, EvDiscovery, true)
+		}
+		for i := 0; i < int(bads); i++ {
+			l.Observe(1, EvDiscovery, false)
+		}
+		before := l.Score(1)
+		l.Decay(0.9)
+		after := l.Score(1)
+		if before >= 0.5 {
+			return after >= 0.5-1e-9 && after <= before+1e-9
+		}
+		return after <= 0.5+1e-9 && after >= before-1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
