@@ -1,5 +1,5 @@
 // Package iobt's root benchmark suite: one testing.B benchmark per
-// experiment table (DESIGN.md §4, E1..E13), each running the same
+// experiment table (DESIGN.md §4, E1..E14), each running the same
 // harness as cmd/benchtab in quick mode, plus micro-benchmarks of the
 // hot substrate paths (event queue, spatial index, routing, solvers,
 // aggregators).
@@ -165,3 +165,4 @@ func BenchmarkFederatedRound(b *testing.B) {
 }
 
 func BenchmarkE13Tracking(b *testing.B) { benchExperiment(b, "E13") }
+func BenchmarkE14Recovery(b *testing.B) { benchExperiment(b, "E14") }

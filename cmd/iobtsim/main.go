@@ -7,6 +7,8 @@
 //
 //	iobtsim -assets 500 -command intent -minutes 10
 //	iobtsim -command hierarchy -levels 4 -jam -terrain urban
+//	iobtsim -command hierarchy -reliable -degrade -faults standard
+//	iobtsim -faults plan.txt   # custom fault plan in the DSL
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"iobt/internal/asset"
 	"iobt/internal/attack"
 	"iobt/internal/core"
+	"iobt/internal/fault"
 	"iobt/internal/geo"
 	"iobt/internal/intent"
 )
@@ -43,6 +46,9 @@ func run(args []string) error {
 		jam     = fs.Bool("jam", false, "activate a central jammer at t=2min")
 		churn   = fs.Bool("churn", false, "enable asset churn (2%/min failures)")
 		spec    = fs.String("spec", "", "mission spec file in the intent DSL (overrides -command/-levels/-rate)")
+		faults  = fs.String("faults", "", `fault plan: "standard" or a plan file in the fault DSL`)
+		degrade = fs.Bool("degrade", false, "enable graceful-degradation reflexes (command fallback, coverage relaxation)")
+		reliab  = fs.Bool("reliable", false, "carry command traffic over the ARQ layer")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +100,23 @@ func run(args []string) error {
 		}
 	}
 
+	m.Degradation = m.Degradation || *degrade
+	m.ReliableOrders = m.ReliableOrders || *reliab
+
+	var plan *fault.Plan
+	if *faults == "standard" {
+		plan = fault.StandardPlan(*size)
+	} else if *faults != "" {
+		raw, err := os.ReadFile(*faults)
+		if err != nil {
+			return fmt.Errorf("read fault plan: %w", err)
+		}
+		plan, err = fault.Parse(string(raw))
+		if err != nil {
+			return err
+		}
+	}
+
 	r := core.NewRuntime(w, m)
 	if err := r.Synthesize(); err != nil {
 		return fmt.Errorf("synthesis: %w", err)
@@ -115,7 +138,26 @@ func run(args []string) error {
 		})
 		fmt.Println("jammer armed: center of map at t=2min")
 	}
-	if err := w.Run(time.Duration(*minutes) * time.Minute); err != nil {
+	horizon := time.Duration(*minutes) * time.Minute
+	var rep *fault.Report
+	if plan != nil {
+		fmt.Printf("fault plan %q armed: %d faults\n", plan.Name, len(plan.Faults))
+		h := &fault.Harness{
+			T: fault.Target{
+				Eng: w.Eng, Pop: w.Pop, Net: w.Net, Jam: w.Jam, Smoke: w.Smoke,
+				Composite:   func() []asset.ID { return r.Composite().Members },
+				CommandPost: func() asset.ID { return r.Sink() },
+			},
+			Plan: plan,
+			Goodput: func() (uint64, uint64) {
+				return r.Metrics.OnTime.Value(), r.Metrics.Incidents.Value()
+			},
+		}
+		var err error
+		if rep, err = h.Run(horizon); err != nil {
+			return err
+		}
+	} else if err := w.Run(horizon); err != nil {
 		return err
 	}
 	r.Stop()
@@ -128,7 +170,16 @@ func run(args []string) error {
 	fmt.Printf("  on time:          %d (success %.0f%%)\n", met.OnTime.Value(), 100*met.SuccessRate())
 	fmt.Printf("  decision latency: %s\n", met.DecisionLatency.Summarize())
 	fmt.Printf("  reflex repairs:   %d\n", met.Repairs.Value())
+	fmt.Printf("  undeliverable:    %d\n", met.Undeliverable.Value())
+	if m.Degradation {
+		fmt.Printf("  degradation: fallbacks=%d restores=%d relaxations=%d\n",
+			met.Fallbacks.Value(), met.Restores.Value(), met.Relaxations.Value())
+	}
+	fmt.Printf("  health: %s (%d transitions)\n", r.Health(), met.HealthChanges.Value())
 	fmt.Printf("  network: delivered=%d dropped=%d noroute=%d\n",
 		w.Net.Delivered.Value(), w.Net.Dropped.Value(), w.Net.NoRoute.Value())
+	if rep != nil {
+		fmt.Printf("\n%s", rep)
+	}
 	return nil
 }

@@ -115,6 +115,9 @@ func TestIntentMissionRuns(t *testing.T) {
 }
 
 func TestHierarchyMissionSlowerThanIntent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several multi-minute missions")
+	}
 	latency := func(cmd CommandModel, levels int) (float64, float64) {
 		w := testWorld(t, 6)
 		defer w.Stop()
@@ -337,6 +340,9 @@ func TestMissionNormalizedDefaults(t *testing.T) {
 // TestReliableOrdersImproveHierarchySuccess: ARQ recovers decisions a
 // lossy channel would drop, at a modest latency cost.
 func TestReliableOrdersImproveHierarchySuccess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs paired multi-minute missions")
+	}
 	run := func(reliable bool) (float64, float64) {
 		mc := mesh.DefaultConfig()
 		mc.LossBase = 0.5 // harsh channel

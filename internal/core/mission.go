@@ -55,6 +55,19 @@ type Mission struct {
 	// Zero defaults to 200ms.
 	LocalDeliberation time.Duration
 
+	// Degradation enables the graceful-degradation reflexes: command
+	// continuity (hierarchy → intent fallback after FallbackAfter
+	// consecutive order-delivery failures, restored when a post becomes
+	// reachable again) and coverage-goal relaxation (down to RelaxFloor)
+	// when the candidate pool cannot repair the composite.
+	Degradation bool
+	// FallbackAfter is the consecutive command-delivery-failure count
+	// that triggers the intent fallback. Zero defaults to 3.
+	FallbackAfter int
+	// RelaxFloor is the lowest coverage fraction relaxation may reach,
+	// as a fraction of the original cell grid. Zero defaults to 0.2.
+	RelaxFloor float64
+
 	// IncidentsPerMin is the battlefield event rate.
 	IncidentsPerMin float64
 	// IncidentDeadline is how long an incident stays actionable.
@@ -95,6 +108,12 @@ func (m Mission) normalized() Mission {
 	}
 	if m.HierarchyLevels < 1 {
 		m.HierarchyLevels = 1
+	}
+	if m.FallbackAfter <= 0 {
+		m.FallbackAfter = 3
+	}
+	if m.RelaxFloor <= 0 {
+		m.RelaxFloor = 0.2
 	}
 	if m.IncidentsPerMin <= 0 {
 		m.IncidentsPerMin = 6

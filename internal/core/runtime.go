@@ -23,12 +23,27 @@ type Metrics struct {
 	Acted sim.Counter
 	// OnTime counts actions completed before the incident deadline.
 	OnTime sim.Counter
+	// Undeliverable counts incidents whose command traffic terminally
+	// failed: no command post, an unreachable one, or an exhausted ARQ
+	// budget. Before this counter existed those incidents vanished
+	// silently; chaos invariants now audit it.
+	Undeliverable sim.Counter
 	// DecisionLatency records detection-to-action seconds.
 	DecisionLatency sim.Series
 	// Repairs counts composite re-synthesis events.
 	Repairs sim.Counter
 	// RepairTime records seconds from coverage violation to repair.
 	RepairTime sim.Series
+	// Fallbacks counts command-continuity fallbacks (hierarchy → intent
+	// after repeated order-delivery failures).
+	Fallbacks sim.Counter
+	// Restores counts hierarchy restorations after a fallback.
+	Restores sim.Counter
+	// Relaxations counts coverage-goal relaxation steps taken when the
+	// candidate pool could not repair the composite.
+	Relaxations sim.Counter
+	// HealthChanges counts mission health-state transitions.
+	HealthChanges sim.Counter
 }
 
 // SuccessRate returns OnTime/Incidents.
@@ -53,15 +68,22 @@ type Runtime struct {
 	Mission Mission
 	Metrics Metrics
 
-	comp      *compose.Composite
-	members   map[asset.ID]bool
-	sink      asset.ID
-	req       compose.Requirements
-	rng       *sim.RNG
-	gen       *sim.Ticker
-	healthMon *adapt.Monitor
-	nextIncID int
-	rel       *mesh.Reliable
+	comp       *compose.Composite
+	members    map[asset.ID]bool
+	sink       asset.ID
+	req        compose.Requirements
+	rng        *sim.RNG
+	gen        *sim.Ticker
+	healthMon  *adapt.Monitor
+	nextIncID  int
+	rel        *mesh.Reliable
+	started    bool
+	registered map[asset.ID]bool
+
+	health     HealthState
+	orderFails int // consecutive order-delivery failures
+	fellBack   bool
+	relaxSteps int
 }
 
 // ErrSynthesisFailed wraps composition failure at mission start.
@@ -70,10 +92,12 @@ var ErrSynthesisFailed = errors.New("core: mission synthesis failed")
 // NewRuntime prepares (but does not start) a mission runtime.
 func NewRuntime(w *World, m Mission) *Runtime {
 	return &Runtime{
-		W:       w,
-		Mission: m.normalized(),
-		rng:     w.Eng.Stream("runtime"),
-		members: make(map[asset.ID]bool),
+		W:          w,
+		Mission:    m.normalized(),
+		rng:        w.Eng.Stream("runtime"),
+		members:    make(map[asset.ID]bool),
+		registered: make(map[asset.ID]bool),
+		health:     Healthy,
 	}
 }
 
@@ -102,10 +126,27 @@ func (r *Runtime) install(comp *compose.Composite) {
 	for _, id := range comp.Members {
 		r.members[id] = true
 	}
+	if r.started {
+		r.registerCommandNodes()
+	}
 }
 
 // Composite returns the current composite (nil before Synthesize).
 func (r *Runtime) Composite() *compose.Composite { return r.comp }
+
+// Health returns the current mission health state.
+func (r *Runtime) Health() HealthState { return r.health }
+
+// FellBack reports whether command has fallen back from hierarchy to
+// intent.
+func (r *Runtime) FellBack() bool { return r.fellBack }
+
+// Reliable returns the ARQ layer carrying command traffic (nil unless
+// Mission.ReliableOrders and started).
+func (r *Runtime) Reliable() *mesh.Reliable { return r.rel }
+
+// Sink returns the current command post (None if lost).
+func (r *Runtime) Sink() asset.ID { return r.sink }
 
 // Start begins incident generation and the coverage reflex monitor.
 // Synthesize must have succeeded.
@@ -116,10 +157,12 @@ func (r *Runtime) Start() error {
 	if r.Mission.ReliableOrders {
 		r.rel = mesh.NewReliable(r.W.Eng, r.W.Net)
 	}
+	r.started = true
+	r.registerCommandNodes()
 	interval := time.Duration(float64(time.Minute) / r.Mission.IncidentsPerMin)
 	r.gen = r.W.Eng.Every(interval, "core.incident", r.incident)
 	r.healthMon = adapt.NewMonitor(r.W.Eng, "coverage",
-		r.coverageHolds,
+		r.monitorTick,
 		r.repair,
 	)
 	r.healthMon.Start(5 * time.Second)
@@ -138,6 +181,19 @@ func (r *Runtime) Stop() {
 	}
 }
 
+// monitorTick is the periodic self-check: it re-evaluates coverage (the
+// monitor fires repair when it fails), refreshes the health state
+// machine, and — when degradation reflexes are on — probes whether a
+// fallen-back hierarchy can be restored.
+func (r *Runtime) monitorTick() bool {
+	ok := r.coverageHolds()
+	r.setHealth(r.computeHealth(ok))
+	if ok && r.Mission.Degradation && r.fellBack {
+		r.tryRestoreHierarchy()
+	}
+	return ok
+}
+
 // coverageHolds re-evaluates the composite assurance against current
 // positions and liveness.
 func (r *Runtime) coverageHolds() bool {
@@ -149,7 +205,10 @@ func (r *Runtime) coverageHolds() bool {
 
 // repair is the reflex: incremental re-composition around failed
 // members (paper: "re-assemble ... upon damage ... within an
-// appropriately short time").
+// appropriately short time"). When the candidate pool cannot restore
+// the goal and degradation reflexes are enabled, the coverage
+// requirement is relaxed stepwise (never below Mission.RelaxFloor)
+// instead of limping silently below an unmeetable goal.
 func (r *Runtime) repair() {
 	start := r.W.Eng.Now()
 	failed := map[asset.ID]bool{}
@@ -161,12 +220,46 @@ func (r *Runtime) repair() {
 	}
 	pool := compose.PoolFromPopulation(r.W.Pop, r.W.Trust)
 	comp, err := compose.Recompose(r.req, r.comp, failed, pool)
+	if err != nil && r.Mission.Degradation {
+		for err != nil && r.relaxOnce() {
+			comp, err = compose.Recompose(r.req, r.comp, failed, pool)
+		}
+	}
 	if err != nil {
-		return // pool exhausted; keep limping
+		// Pool exhausted (and relaxation floor reached, or reflexes
+		// disabled): record the degraded state rather than pretending
+		// the goal still holds.
+		r.setHealth(r.computeHealth(false))
+		return
 	}
 	r.install(comp)
 	r.Metrics.Repairs.Inc()
 	r.Metrics.RepairTime.AddDuration(r.W.Eng.Now() - start)
+	r.setHealth(r.computeHealth(r.coverageHolds()))
+}
+
+// relaxOnce lowers the coverage requirement one step (-20%), bounded by
+// Mission.RelaxFloor. Returns false when no further relaxation is
+// allowed.
+func (r *Runtime) relaxOnce() bool {
+	floor := int(r.Mission.RelaxFloor * float64(len(r.req.Cells)))
+	if floor < 1 {
+		floor = 1
+	}
+	if r.req.NeedCells <= floor {
+		return false
+	}
+	next := r.req.NeedCells * 4 / 5
+	if next >= r.req.NeedCells {
+		next = r.req.NeedCells - 1
+	}
+	if next < floor {
+		next = floor
+	}
+	r.req.NeedCells = next
+	r.relaxSteps++
+	r.Metrics.Relaxations.Inc()
+	return true
 }
 
 // liveMembers materializes current member candidates with live
@@ -212,7 +305,13 @@ func (r *Runtime) incident() {
 		}
 	}
 
-	switch r.Mission.Command {
+	cmd := r.Mission.Command
+	if r.fellBack {
+		// Command continuity: the hierarchy is unreachable, subordinates
+		// act on commander's intent.
+		cmd = CommandIntent
+	}
+	switch cmd {
 	case CommandIntent:
 		// Subordinate initiative: deliberate locally, act.
 		r.W.Eng.Schedule(r.Mission.LocalDeliberation, "core.intent-act", complete)
@@ -222,28 +321,29 @@ func (r *Runtime) incident() {
 }
 
 // hierarchyLoop routes the report to the command post, pays per-level
-// approval, and routes the order back.
+// approval, and routes the order back. Terminal delivery failures are
+// counted (Metrics.Undeliverable) and feed the command-continuity
+// reflex.
 func (r *Runtime) hierarchyLoop(detector asset.ID, complete func()) {
+	if r.sink == asset.None || !r.sinkAlive() {
+		r.repickSink()
+	}
 	sink := r.sink
 	if sink == asset.None {
+		r.commandFailed()
 		return
 	}
-	incID := r.nextIncID
 	msg := mesh.Message{
 		From: detector, To: sink, Size: 2000, Kind: "report",
-		Payload: reportPayload{incID: incID, detector: detector, complete: complete},
+		Payload: reportPayload{incID: r.nextIncID, detector: detector, complete: complete},
 	}
 	if r.rel != nil {
-		r.rel.Register(sink, r.sinkHandler(sink))
-		r.rel.Register(detector, r.detectorHandler(detector))
-		r.rel.Send(msg, nil, nil)
+		r.rel.Send(msg, r.commandCarried, r.commandFailed)
 		return
 	}
-	r.W.Net.RegisterHandler(sink, r.sinkHandler(sink))
-	r.W.Net.RegisterHandler(detector, r.detectorHandler(detector))
 	if err := r.W.Net.Send(msg); err != nil {
 		// Command post unreachable: the hierarchy cannot authorize.
-		return
+		r.commandFailed()
 	}
 }
 
@@ -258,43 +358,132 @@ type orderPayload struct {
 	complete func()
 }
 
-// sinkHandler processes reports at the command post: pay the staffing
-// delay for each echelon, then send the order back.
-func (r *Runtime) sinkHandler(sink asset.ID) mesh.Handler {
-	return func(msg mesh.Message) {
-		if msg.Kind != "report" {
-			return
-		}
-		p, ok := msg.Payload.(reportPayload)
-		if !ok {
-			return
-		}
-		delay := time.Duration(r.Mission.HierarchyLevels) * r.Mission.ApprovalPerLevel
-		r.W.Eng.Schedule(delay, "core.approve", func() {
-			order := mesh.Message{
-				From: sink, To: p.detector, Size: 500, Kind: "order",
-				Payload: orderPayload{incID: p.incID, complete: p.complete},
-			}
-			if r.rel != nil {
-				r.rel.Send(order, nil, nil)
-				return
-			}
-			_ = r.W.Net.Send(order)
-		})
+// registerCommandNodes installs the report/order handler on the command
+// post and every composite member, exactly once per node. Handlers used
+// to be re-registered on every incident; now registration happens at
+// Start and on composite changes only (Reliable.Registrations guards
+// this in the regression test).
+func (r *Runtime) registerCommandNodes() {
+	if r.Mission.Command != CommandHierarchy {
+		return
+	}
+	for id := range r.members {
+		r.registerNode(id)
+	}
+	if r.sink != asset.None {
+		r.registerNode(r.sink)
 	}
 }
 
-// detectorHandler executes orders arriving back at the detector.
-func (r *Runtime) detectorHandler(asset.ID) mesh.Handler {
+func (r *Runtime) registerNode(id asset.ID) {
+	if r.registered[id] {
+		return
+	}
+	r.registered[id] = true
+	h := r.commandHandler(id)
+	if r.rel != nil {
+		r.rel.Register(id, h)
+		return
+	}
+	r.W.Net.RegisterHandler(id, h)
+}
+
+// commandHandler serves both legs of the decision loop at one node:
+// reports are processed only while the node is the current command post
+// (pay the staffing delay for each echelon, send the order back);
+// orders execute at their detector.
+func (r *Runtime) commandHandler(id asset.ID) mesh.Handler {
 	return func(msg mesh.Message) {
-		if msg.Kind != "order" {
+		switch msg.Kind {
+		case "report":
+			if id != r.sink {
+				return // stale post: no longer authorized
+			}
+			p, ok := msg.Payload.(reportPayload)
+			if !ok {
+				return
+			}
+			delay := time.Duration(r.Mission.HierarchyLevels) * r.Mission.ApprovalPerLevel
+			r.W.Eng.Schedule(delay, "core.approve", func() {
+				order := mesh.Message{
+					From: id, To: p.detector, Size: 500, Kind: "order",
+					Payload: orderPayload{incID: p.incID, complete: p.complete},
+				}
+				if r.rel != nil {
+					r.rel.Send(order, r.commandCarried, r.commandFailed)
+					return
+				}
+				if err := r.W.Net.Send(order); err != nil {
+					r.commandFailed()
+				}
+			})
+		case "order":
+			p, ok := msg.Payload.(orderPayload)
+			if !ok {
+				return
+			}
+			p.complete()
+		}
+	}
+}
+
+// commandCarried records a successful command-channel delivery.
+func (r *Runtime) commandCarried() {
+	r.orderFails = 0
+	r.setHealth(r.computeHealth(true))
+}
+
+// commandFailed records a terminal command-channel failure (no post,
+// unreachable post, or exhausted ARQ budget) and drives the
+// command-continuity reflex: re-pick the post, and after
+// Mission.FallbackAfter consecutive failures fall back to intent.
+func (r *Runtime) commandFailed() {
+	r.Metrics.Undeliverable.Inc()
+	r.orderFails++
+	if r.Mission.Degradation {
+		if r.sink == asset.None || !r.sinkAlive() {
+			r.repickSink()
+		}
+		if !r.fellBack && r.orderFails >= r.Mission.FallbackAfter {
+			r.fellBack = true
+			r.Metrics.Fallbacks.Inc()
+		}
+	}
+	r.setHealth(r.computeHealth(true))
+}
+
+// tryRestoreHierarchy probes whether a fallen-back hierarchy can be
+// restored: a live command post reachable from some live member.
+func (r *Runtime) tryRestoreHierarchy() {
+	if r.sink == asset.None || !r.sinkAlive() {
+		r.repickSink()
+	}
+	if r.sink == asset.None || !r.sinkAlive() {
+		return
+	}
+	for id := range r.members {
+		a := r.W.Pop.Get(id)
+		if a == nil || !a.Alive() {
+			continue
+		}
+		if r.W.Net.Reachable(id, r.sink) {
+			r.fellBack = false
+			r.orderFails = 0
+			r.Metrics.Restores.Inc()
 			return
 		}
-		p, ok := msg.Payload.(orderPayload)
-		if !ok {
-			return
-		}
-		p.complete()
+	}
+}
+
+func (r *Runtime) sinkAlive() bool {
+	a := r.W.Pop.Get(r.sink)
+	return a != nil && a.Alive()
+}
+
+func (r *Runtime) repickSink() {
+	r.sink = r.W.PickCommandPost()
+	if r.started && r.sink != asset.None {
+		r.registerNode(r.sink)
 	}
 }
 

@@ -1,5 +1,5 @@
 // Package experiments contains the reproduction harness: one function
-// per experiment in DESIGN.md §4 (E1..E13), each returning a Table with
+// per experiment in DESIGN.md §4 (E1..E14), each returning a Table with
 // the rows the corresponding paper claim predicts. cmd/benchtab prints
 // them; the root bench_test.go wraps them as testing.B benchmarks.
 //
@@ -118,6 +118,7 @@ func All() []Experiment {
 		{"E11", "continual learning contexts", E11Continual},
 		{"E12", "team diversity under modality loss", E12Diversity},
 		{"E13", "multi-target tracking continuity", E13Tracking},
+		{"E14", "recovery time vs fault intensity", E14Recovery},
 	}
 }
 

@@ -17,8 +17,8 @@ func parseF(t *testing.T, s string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -310,7 +310,7 @@ func TestRegistryHasE13(t *testing.T) {
 	if _, ok := Lookup("E13"); !ok {
 		t.Error("E13 missing from registry")
 	}
-	if len(All()) != 13 {
+	if len(All()) != 14 {
 		t.Errorf("registry size = %d", len(All()))
 	}
 }
@@ -321,5 +321,30 @@ func TestTableCSV(t *testing.T) {
 	want := "a,b\n1,\"x,y\"\n2,\"q\"\"u\"\n"
 	if got != want {
 		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestE14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E14 runs 6-minute missions")
+	}
+	tb := E14Recovery(42, true) // quick: intensities 0.5 and 1.0
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[1] == "run failed" {
+			t.Fatalf("intensity %s failed to run", row[0])
+		}
+	}
+	// The acceptance bar: at full intensity the degradation reflexes
+	// keep success at least 2x the reflexless mission.
+	full := tb.Rows[len(tb.Rows)-1]
+	if ratio := parseF(t, full[6]); ratio < 2 {
+		t.Errorf("reflex/no-reflex success ratio %.2f at full intensity, want >= 2", ratio)
+	}
+	// Degradation deepens with intensity: success without reflexes falls.
+	if lo, hi := parseF(t, tb.Rows[0][5]), parseF(t, full[5]); hi >= lo {
+		t.Errorf("reflexless success rose with intensity: %.2f -> %.2f", lo, hi)
 	}
 }

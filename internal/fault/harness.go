@@ -1,0 +1,261 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Invariant is a property checked continuously while the harness runs.
+// Check returns nil when the property holds.
+type Invariant struct {
+	Name  string
+	Check func() error
+}
+
+// Harness wraps a mission run with a fault plan, continuous invariant
+// checks, and goodput sampling, and produces a per-fault recovery
+// report. The caller builds the world and starts the mission runtime;
+// Run then injects the plan and drives the engine.
+type Harness struct {
+	T    Target
+	Plan *Plan
+	// Invariants are evaluated every CheckEvery tick; violations are
+	// recorded (not fatal) so a run surfaces every broken property.
+	Invariants []Invariant
+	// CheckEvery is the sampling cadence (default 1s).
+	CheckEvery time.Duration
+	// Goodput returns cumulative (done, total) counters — e.g. on-time
+	// actions vs. incidents. The harness differentiates them into an
+	// instantaneous goodput signal.
+	Goodput func() (done, total uint64)
+	// DetectFrac and RecoverFrac set the degradation thresholds as
+	// fractions of the pre-fault baseline (defaults 0.7 and 0.9).
+	DetectFrac, RecoverFrac float64
+	// Window is the smoothing window in samples (default 10).
+	Window int
+}
+
+// sample is one goodput observation. goodput is the windowed ratio
+// Σdone/Σtotal over the last Window ticks — a per-tick ratio would
+// alias against periodic incident generation (completions lag their
+// incidents, so they systematically land in different ticks).
+type sample struct {
+	at       time.Duration
+	goodput  float64
+	hasTotal bool // some incidents occurred within the window
+	// cumDone/cumTotal are the cumulative counters at this tick; their
+	// ratio is the all-history goodput used for the pre-fault baseline.
+	cumDone, cumTotal uint64
+}
+
+// Violation is one invariant failure observation.
+type Violation struct {
+	At   time.Duration
+	Name string
+	Err  error
+}
+
+// FaultReport is the recovery record for one injected fault.
+type FaultReport struct {
+	Fault Fault
+	// Detected is whether goodput dropped below the detect threshold
+	// after onset; TimeToDetect is onset-to-drop.
+	Detected     bool
+	TimeToDetect time.Duration
+	// Recovered is whether goodput returned above the recover threshold
+	// after detection; TimeToRecover is onset-to-recovery.
+	Recovered     bool
+	TimeToRecover time.Duration
+	// DegradedGoodput is the mean goodput between detection and
+	// recovery (or the horizon).
+	DegradedGoodput float64
+}
+
+// Report is the outcome of one harnessed run.
+type Report struct {
+	// Baseline is the mean goodput before the first fault onset.
+	Baseline float64
+	// Final is the mean goodput over the last Window samples.
+	Final float64
+	Faults []FaultReport
+	// Violations holds every invariant failure (bounded at 100).
+	Violations []Violation
+	// Killed is the number of assets the injector destroyed.
+	Killed uint64
+}
+
+// OK reports whether no invariant was violated.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// String renders the report as an aligned text block.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault report: baseline goodput %.2f, final %.2f, %d assets destroyed\n",
+		r.Baseline, r.Final, r.Killed)
+	for _, fr := range r.Faults {
+		fmt.Fprintf(&b, "  %-52s", fr.Fault.String())
+		switch {
+		case !fr.Detected:
+			b.WriteString("  absorbed (no degradation)")
+		case !fr.Recovered:
+			fmt.Fprintf(&b, "  detect %5.1fs  NOT RECOVERED  degraded goodput %.2f",
+				fr.TimeToDetect.Seconds(), fr.DegradedGoodput)
+		default:
+			fmt.Fprintf(&b, "  detect %5.1fs  recover %5.1fs  degraded goodput %.2f",
+				fr.TimeToDetect.Seconds(), fr.TimeToRecover.Seconds(), fr.DegradedGoodput)
+		}
+		b.WriteByte('\n')
+	}
+	for i, v := range r.Violations {
+		if i >= 5 {
+			fmt.Fprintf(&b, "  ... %d more violations\n", len(r.Violations)-i)
+			break
+		}
+		fmt.Fprintf(&b, "  VIOLATION at %s: %s: %v\n", v.At, v.Name, v.Err)
+	}
+	return b.String()
+}
+
+// Run injects the plan, drives the engine for horizon, and returns the
+// recovery report. The mission runtime must already be started.
+func (h *Harness) Run(horizon time.Duration) (*Report, error) {
+	if h.CheckEvery <= 0 {
+		h.CheckEvery = time.Second
+	}
+	if h.DetectFrac <= 0 {
+		h.DetectFrac = 0.7
+	}
+	if h.RecoverFrac <= 0 {
+		h.RecoverFrac = 0.9
+	}
+	if h.Window <= 0 {
+		h.Window = 10
+	}
+
+	inj := Apply(h.T, h.Plan)
+
+	var (
+		samples    []sample
+		violations []Violation
+		lastDone   uint64
+		lastTotal  uint64
+		dones      []uint64
+		totals     []uint64
+	)
+	tick := h.T.Eng.Every(h.CheckEvery, "fault.harness", func() {
+		now := h.T.Eng.Now()
+		if h.Goodput != nil {
+			done, total := h.Goodput()
+			dones = append(dones, done-lastDone)
+			totals = append(totals, total-lastTotal)
+			lastDone, lastTotal = done, total
+			lo := len(totals) - h.Window
+			if lo < 0 {
+				lo = 0
+			}
+			var sd, st uint64
+			for i := lo; i < len(totals); i++ {
+				sd += dones[i]
+				st += totals[i]
+			}
+			s := sample{at: now, goodput: 1, hasTotal: st > 0,
+				cumDone: done, cumTotal: total}
+			if st > 0 {
+				s.goodput = float64(sd) / float64(st)
+			} else if len(samples) > 0 {
+				s.goodput = samples[len(samples)-1].goodput // no traffic: hold
+			}
+			samples = append(samples, s)
+		}
+		for _, inv := range h.Invariants {
+			if err := inv.Check(); err != nil && len(violations) < 100 {
+				violations = append(violations, Violation{At: now, Name: inv.Name, Err: err})
+			}
+		}
+	})
+	err := h.T.Eng.Run(horizon)
+	tick.Stop()
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Violations: violations, Killed: inj.Killed.Value()}
+	rep.Baseline = h.baseline(samples)
+	if n := len(samples); n > 0 {
+		lo := n - h.Window
+		if lo < 0 {
+			lo = 0
+		}
+		sum := 0.0
+		for _, s := range samples[lo:] {
+			sum += s.goodput
+		}
+		rep.Final = sum / float64(n-lo)
+	}
+	for _, f := range h.Plan.Faults {
+		rep.Faults = append(rep.Faults, h.faultReport(f, samples, rep.Baseline))
+	}
+	return rep, nil
+}
+
+// baseline is the cumulative goodput (done/total over the whole
+// pre-fault period) at the last sample strictly before the first fault
+// onset, 1.0 when no pre-fault traffic exists. The cumulative ratio is
+// used rather than the windowed one because a short window over a low
+// incident rate holds too few events to anchor thresholds on.
+func (h *Harness) baseline(samples []sample) float64 {
+	first := time.Duration(-1)
+	for _, f := range h.Plan.Faults {
+		if first < 0 || f.At < first {
+			first = f.At
+		}
+	}
+	base := 1.0
+	for _, s := range samples {
+		if first >= 0 && s.at >= first {
+			break
+		}
+		if s.cumTotal > 0 {
+			base = float64(s.cumDone) / float64(s.cumTotal)
+		}
+	}
+	return base
+}
+
+// faultReport scans the sample series from the fault's onset for the
+// degradation dip and the recovery crossing.
+func (h *Harness) faultReport(f Fault, samples []sample, baseline float64) FaultReport {
+	fr := FaultReport{Fault: f}
+	detectAt := time.Duration(-1)
+	recoverAt := time.Duration(-1)
+	degSum, degN := 0.0, 0
+	for _, s := range samples {
+		if s.at < f.At {
+			continue
+		}
+		if detectAt < 0 {
+			if s.goodput < h.DetectFrac*baseline {
+				detectAt = s.at
+				fr.Detected = true
+				fr.TimeToDetect = s.at - f.At
+			}
+			continue
+		}
+		if recoverAt < 0 {
+			if s.hasTotal {
+				degSum += s.goodput
+				degN++
+			}
+			if s.goodput >= h.RecoverFrac*baseline {
+				recoverAt = s.at
+				fr.Recovered = true
+				fr.TimeToRecover = s.at - f.At
+			}
+		}
+	}
+	if degN > 0 {
+		fr.DegradedGoodput = degSum / float64(degN)
+	}
+	return fr
+}

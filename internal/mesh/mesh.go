@@ -70,6 +70,9 @@ type Message struct {
 	Hops int
 	// Sent is the virtual send time; filled in by Send.
 	Sent time.Duration
+	// Corrupted marks a frame mangled in flight by an injected fault;
+	// its kind and payload are destroyed before delivery.
+	Corrupted bool
 }
 
 // Handler consumes messages delivered to a node.
@@ -92,6 +95,13 @@ type Network struct {
 	// jamming, when set, returns the jamming intensity [0,1] at a point;
 	// links shrink by that factor. attack.Field provides this.
 	jamming func(geo.Point) float64
+	// linkFault, when set, reports whether the link between two
+	// positions is severed by an injected fault (e.g. a partition).
+	// internal/fault provides this.
+	linkFault func(a, b geo.Point) bool
+	// hopFault, when set, is consulted once per hop and may drop,
+	// corrupt, or delay the frame. internal/fault provides this.
+	hopFault func(*Message) HopEffect
 
 	ticker *sim.Ticker
 
@@ -99,8 +109,20 @@ type Network struct {
 	Delivered  sim.Counter
 	Dropped    sim.Counter
 	NoRoute    sim.Counter
+	Corrupted  sim.Counter
 	LatencySec sim.Series
 	HopCount   sim.Series
+}
+
+// HopEffect is a per-hop fault verdict returned by the hop-fault hook.
+type HopEffect struct {
+	// Drop discards the frame at this hop.
+	Drop bool
+	// Corrupt marks the frame corrupted: it is still delivered, but with
+	// its kind and payload destroyed, so handlers must tolerate garbage.
+	Corrupt bool
+	// Delay adds extra latency to this hop.
+	Delay time.Duration
 }
 
 type routeEntry struct {
@@ -142,6 +164,17 @@ func (n *Network) SetJamming(f func(geo.Point) float64) {
 	n.jamming = f
 	n.invalidate()
 }
+
+// SetLinkFault installs the link-severing fault hook. Passing nil
+// clears it. Callers should Refresh after changing fault state so the
+// neighbor table reflects the cut links.
+func (n *Network) SetLinkFault(f func(a, b geo.Point) bool) {
+	n.linkFault = f
+	n.invalidate()
+}
+
+// SetHopFault installs the per-hop fault hook. Passing nil clears it.
+func (n *Network) SetHopFault(f func(*Message) HopEffect) { n.hopFault = f }
 
 // Start begins periodic topology refresh.
 func (n *Network) Start() {
@@ -209,6 +242,9 @@ func (n *Network) linkRange(a, b *asset.Asset) float64 {
 		jam = j
 	}
 	r *= 1 - jam
+	if r > 0 && n.linkFault != nil && n.linkFault(pa, pb) {
+		return 0
+	}
 	return r
 }
 

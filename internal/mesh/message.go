@@ -70,6 +70,17 @@ func (n *Network) forward(msg Message, path []NodeID, i int) {
 		from.Drain(msg.Size * n.cfg.EnergyPerByte)
 	}
 	delay := n.cfg.BaseLatency + n.txDelay(from.ID, msg.Size, from.Caps.Bandwidth)
+	if n.hopFault != nil {
+		eff := n.hopFault(&msg)
+		if eff.Drop {
+			n.Dropped.Inc()
+			return
+		}
+		if eff.Corrupt {
+			msg.Corrupted = true
+		}
+		delay += eff.Delay
+	}
 	msg.Hops++
 	n.eng.Schedule(delay, "mesh.hop", func() {
 		n.forward(msg, path, i+1)
@@ -129,6 +140,14 @@ func (n *Network) deliver(msg Message) {
 	if dst == nil || !dst.Alive() || !dst.Online {
 		n.Dropped.Inc()
 		return
+	}
+	if msg.Corrupted {
+		// A corrupted frame still consumes airtime and reaches the
+		// destination, but its content is garbage: handlers see an
+		// unparseable kind and no payload, and must tolerate it.
+		n.Corrupted.Inc()
+		msg.Kind = "corrupt"
+		msg.Payload = nil
 	}
 	n.Delivered.Inc()
 	n.LatencySec.AddDuration(n.eng.Now() - msg.Sent)

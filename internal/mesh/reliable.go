@@ -13,30 +13,61 @@ import (
 // mission-critical traffic — orders, evacuation routes — needs
 // acknowledged delivery; the cost is latency and extra airtime, which
 // the tests and benches quantify.
+//
+// Retransmission timing is adaptive: the layer keeps a smoothed RTT
+// estimate (Jacobson/Karels, with Karn's rule: only never-retransmitted
+// exchanges contribute samples) and backs off exponentially with
+// deterministic jitter on each retry, so a jammed or partitioned mesh
+// is probed at decreasing cost instead of hammered on a fixed period.
 type Reliable struct {
 	net *Network
 	eng *sim.Engine
 	// MaxRetries bounds retransmissions (default 5).
 	MaxRetries int
-	// Timeout is the per-attempt ACK deadline (default 2s).
+	// Timeout is the initial retransmission timeout used before any RTT
+	// sample exists (default 2s).
 	Timeout time.Duration
+	// MinTimeout floors the adaptive timeout (default 50ms).
+	MinTimeout time.Duration
+	// MaxTimeout caps the adaptive timeout and the backoff (default 30s).
+	MaxTimeout time.Duration
+	// Backoff is the per-retry timeout multiplier (default 2).
+	Backoff float64
+	// JitterFrac spreads each timeout uniformly within ±JitterFrac
+	// (default 0.1). Jitter is drawn from a dedicated engine stream, so
+	// runs stay deterministic per seed.
+	JitterFrac float64
+
+	rng *sim.RNG
 
 	nextSeq  int
 	inflight map[int]*rtxState
 	handlers map[NodeID]Handler
 	seen     map[NodeID]map[int]bool // per-destination delivered seqs
 
+	srtt   time.Duration
+	rttvar time.Duration
+	hasRTT bool
+
 	// Acked and Exhausted count terminal outcomes.
 	Acked     sim.Counter
 	Exhausted sim.Counter
 	// Attempts counts every transmission including retries.
 	Attempts sim.Counter
+	// LateAcks counts ACKs that arrived after their exchange was already
+	// retired (completed or exhausted); they are ignored.
+	LateAcks sim.Counter
+	// Registrations counts Register calls, so tests can assert handlers
+	// are installed once rather than churned per message.
+	Registrations sim.Counter
 }
 
 type rtxState struct {
 	msg     Message
 	tries   int
 	done    bool
+	retx    bool // some attempt was retransmitted (Karn: no RTT sample)
+	sentAt  time.Duration
 	onAck   func()
 	onFail  func()
 	timeout sim.Handle
@@ -51,6 +82,11 @@ func NewReliable(eng *sim.Engine, net *Network) *Reliable {
 		eng:        eng,
 		MaxRetries: 5,
 		Timeout:    2 * time.Second,
+		MinTimeout: 50 * time.Millisecond,
+		MaxTimeout: 30 * time.Second,
+		Backoff:    2,
+		JitterFrac: 0.1,
+		rng:        eng.Stream("mesh.arq"),
 		inflight:   make(map[int]*rtxState),
 		handlers:   make(map[NodeID]Handler),
 		seen:       make(map[NodeID]map[int]bool),
@@ -60,8 +96,77 @@ func NewReliable(eng *sim.Engine, net *Network) *Reliable {
 // Register installs the application handler for a node and takes over
 // its mesh handler for ACK processing and duplicate suppression.
 func (r *Reliable) Register(id NodeID, h Handler) {
+	r.Registrations.Inc()
 	r.handlers[id] = h
 	r.net.RegisterHandler(id, func(msg Message) { r.onReceive(id, msg) })
+}
+
+// Registered reports whether id already has a handler installed.
+func (r *Reliable) Registered(id NodeID) bool {
+	_, ok := r.handlers[id]
+	return ok
+}
+
+// RTO returns the current base retransmission timeout: the configured
+// initial Timeout until an RTT sample exists, then SRTT + 4·RTTVAR
+// clamped to [MinTimeout, MaxTimeout].
+func (r *Reliable) RTO() time.Duration {
+	if !r.hasRTT {
+		return r.Timeout
+	}
+	rto := r.srtt + 4*r.rttvar
+	if rto < r.MinTimeout {
+		rto = r.MinTimeout
+	}
+	if rto > r.MaxTimeout {
+		rto = r.MaxTimeout
+	}
+	return rto
+}
+
+// SRTT returns the smoothed RTT estimate (zero before any sample).
+func (r *Reliable) SRTT() time.Duration { return r.srtt }
+
+// sampleRTT folds one round-trip measurement into the estimator
+// (RFC 6298 coefficients).
+func (r *Reliable) sampleRTT(rtt time.Duration) {
+	if !r.hasRTT {
+		r.srtt = rtt
+		r.rttvar = rtt / 2
+		r.hasRTT = true
+		return
+	}
+	dev := r.srtt - rtt
+	if dev < 0 {
+		dev = -dev
+	}
+	r.rttvar = (3*r.rttvar + dev) / 4
+	r.srtt = (7*r.srtt + rtt) / 8
+}
+
+// attemptTimeout returns the jittered, backed-off deadline for the
+// given attempt number (1-based).
+func (r *Reliable) attemptTimeout(tries int) time.Duration {
+	d := float64(r.RTO())
+	factor := r.Backoff
+	if factor < 1 {
+		factor = 1
+	}
+	for i := 1; i < tries; i++ {
+		d *= factor
+		if d >= float64(r.MaxTimeout) {
+			d = float64(r.MaxTimeout)
+			break
+		}
+	}
+	if r.JitterFrac > 0 {
+		d *= 1 + r.JitterFrac*(2*r.rng.Float64()-1)
+	}
+	to := time.Duration(d)
+	if to < time.Millisecond {
+		to = time.Millisecond
+	}
+	return to
 }
 
 // Send transmits msg reliably. onAck (optional) fires when the ACK
@@ -95,11 +200,15 @@ func (r *Reliable) attempt(seq int) {
 		return
 	}
 	st.tries++
+	if st.tries > 1 {
+		st.retx = true
+	}
+	st.sentAt = r.eng.Now()
 	r.Attempts.Inc()
 	m := st.msg
 	m.Kind = "rel:" + strconv.Itoa(seq) + ":" + m.Kind
 	_ = r.net.Send(m) // losses surface as missing ACKs
-	st.timeout = r.eng.Schedule(r.Timeout, "arq.timeout", func() { r.attempt(seq) })
+	st.timeout = r.eng.Schedule(r.attemptTimeout(st.tries), "arq.timeout", func() { r.attempt(seq) })
 }
 
 // onReceive demultiplexes data and ACK frames at a registered node.
@@ -114,11 +223,18 @@ func (r *Reliable) onReceive(self NodeID, msg Message) {
 	if rest == "ack" {
 		st, ok := r.inflight[seq]
 		if !ok || st.done {
-			return // duplicate or late ACK
+			// Duplicate or late ACK: the exchange is already retired
+			// (acked earlier, or the retry budget fired onFail). It must
+			// neither resurrect state nor double-count.
+			r.LateAcks.Inc()
+			return
 		}
 		st.done = true
 		st.timeout.Cancel()
 		delete(r.inflight, seq)
+		if !st.retx {
+			r.sampleRTT(r.eng.Now() - st.sentAt)
+		}
 		r.Acked.Inc()
 		if st.onAck != nil {
 			st.onAck()
