@@ -1,5 +1,5 @@
 // Package iobt's root benchmark suite: one testing.B benchmark per
-// experiment table (DESIGN.md §4, E1..E14), each running the same
+// experiment table (DESIGN.md §4, E1..E15), each running the same
 // harness as cmd/benchtab in quick mode, plus micro-benchmarks of the
 // hot substrate paths (event queue, spatial index, routing, solvers,
 // aggregators).
@@ -166,3 +166,4 @@ func BenchmarkFederatedRound(b *testing.B) {
 
 func BenchmarkE13Tracking(b *testing.B) { benchExperiment(b, "E13") }
 func BenchmarkE14Recovery(b *testing.B) { benchExperiment(b, "E14") }
+func BenchmarkE15Failover(b *testing.B) { benchExperiment(b, "E15") }

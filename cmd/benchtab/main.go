@@ -1,10 +1,11 @@
 // Command benchtab regenerates the experiment tables of EXPERIMENTS.md:
-// one table per paper claim (DESIGN.md §4, experiments E1..E14).
+// one table per paper claim (DESIGN.md §4, experiments E1..E15).
 //
 // Usage:
 //
 //	benchtab -experiment all          # every table (slow, full scale)
 //	benchtab -experiment E2 -quick    # one table at reduced scale
+//	benchtab -experiment E15 -format json > BENCH_E15.json
 //	benchtab -list                    # enumerate experiments
 package main
 
@@ -27,11 +28,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "experiment id (E1..E14) or 'all'")
+		experiment = fs.String("experiment", "all", "experiment id (E1..E15) or 'all'")
 		seed       = fs.Int64("seed", 42, "deterministic seed")
 		quick      = fs.Bool("quick", false, "reduced workload sizes")
 		list       = fs.Bool("list", false, "list experiments and exit")
-		format     = fs.String("format", "table", "output format: table|csv")
+		format     = fs.String("format", "table", "output format: table|csv|json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,10 +44,14 @@ func run(args []string) error {
 		return nil
 	}
 	render := func(t *experiments.Table) string {
-		if *format == "csv" {
+		switch *format {
+		case "csv":
 			return t.CSV()
+		case "json":
+			return t.JSON()
+		default:
+			return t.String()
 		}
-		return t.String()
 	}
 	if strings.EqualFold(*experiment, "all") {
 		for _, e := range experiments.All() {

@@ -8,7 +8,9 @@
 //	iobtsim -assets 500 -command intent -minutes 10
 //	iobtsim -command hierarchy -levels 4 -jam -terrain urban
 //	iobtsim -command hierarchy -reliable -degrade -faults standard
-//	iobtsim -faults plan.txt   # custom fault plan in the DSL
+//	iobtsim -faults plan.txt             # custom fault plan in the DSL
+//	iobtsim -checkpoint 15s -faults plan.txt   # warm-failover-capable run
+//	iobtsim -faults standard -replay-verify    # run twice, diff decision logs
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"iobt/internal/asset"
 	"iobt/internal/attack"
+	"iobt/internal/checkpoint"
 	"iobt/internal/core"
 	"iobt/internal/fault"
 	"iobt/internal/geo"
@@ -49,59 +52,12 @@ func run(args []string) error {
 		faults  = fs.String("faults", "", `fault plan: "standard" or a plan file in the fault DSL`)
 		degrade = fs.Bool("degrade", false, "enable graceful-degradation reflexes (command fallback, coverage relaxation)")
 		reliab  = fs.Bool("reliable", false, "carry command traffic over the ARQ layer")
+		ckEvery = fs.Duration("checkpoint", 0, "checkpoint cadence (0 disables; enables `failover warm` in fault plans)")
+		verify  = fs.Bool("replay-verify", false, "run the scenario twice and diff the decision journals (determinism check)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	var terr *geo.Terrain
-	switch *terrain {
-	case "open":
-		terr = geo.NewOpenTerrain(*size, *size)
-	case "urban":
-		terr = geo.NewUrbanTerrain(*size, *size, 100)
-	case "sparse":
-		terr = geo.NewSparseTerrain(*size, *size)
-	default:
-		return fmt.Errorf("unknown terrain %q", *terrain)
-	}
-
-	cfg := core.WorldConfig{Seed: *seed, Terrain: terr, Assets: *assets}
-	if *churn {
-		cfg.Churn = &asset.ChurnConfig{FailRatePerMin: 0.02, ArriveRatePerMin: 3, ReviveProb: 0.5}
-	}
-	w := core.NewWorld(cfg)
-	defer w.Stop()
-
-	var m core.Mission
-	if *spec != "" {
-		raw, err := os.ReadFile(*spec)
-		if err != nil {
-			return fmt.Errorf("read spec: %w", err)
-		}
-		m, err = intent.Parse(string(raw))
-		if err != nil {
-			return err
-		}
-	} else {
-		pad := *size / 5
-		m = core.DefaultMission(geo.NewRect(
-			geo.Point{X: pad, Y: pad}, geo.Point{X: *size - pad, Y: *size - pad}))
-		m.Goal.CoverageFrac = 0.5
-		m.IncidentsPerMin = *rate
-		m.HierarchyLevels = *levels
-		switch *command {
-		case "intent":
-			m.Command = core.CommandIntent
-		case "hierarchy":
-			m.Command = core.CommandHierarchy
-		default:
-			return fmt.Errorf("unknown command model %q", *command)
-		}
-	}
-
-	m.Degradation = m.Degradation || *degrade
-	m.ReliableOrders = m.ReliableOrders || *reliab
 
 	var plan *fault.Plan
 	if *faults == "standard" {
@@ -117,69 +73,174 @@ func run(args []string) error {
 		}
 	}
 
-	r := core.NewRuntime(w, m)
-	if err := r.Synthesize(); err != nil {
-		return fmt.Errorf("synthesis: %w", err)
-	}
-	comp := r.Composite()
-	fmt.Printf("world: %d assets on %s terrain (%gm)\n", w.Pop.Len(), *terrain, *size)
-	fmt.Printf("composite: %d members, coverage %.2f, connected %v, mean trust %.2f\n",
-		len(comp.Members), comp.Assurance.CoverageFrac, comp.Assurance.Connected,
-		comp.Assurance.MeanTrust)
-
-	if err := r.Start(); err != nil {
-		return err
-	}
-	if *jam {
-		w.Jam.Add(attack.Jammer{
-			Area:      geo.Circle{Center: terr.Bounds.Center(), Radius: *size / 3},
-			Intensity: 0.9,
-			From:      2 * time.Minute,
-		})
-		fmt.Println("jammer armed: center of map at t=2min")
-	}
-	horizon := time.Duration(*minutes) * time.Minute
-	var rep *fault.Report
-	if plan != nil {
-		fmt.Printf("fault plan %q armed: %d faults\n", plan.Name, len(plan.Faults))
-		h := &fault.Harness{
-			T: fault.Target{
-				Eng: w.Eng, Pop: w.Pop, Net: w.Net, Jam: w.Jam, Smoke: w.Smoke,
-				Composite:   func() []asset.ID { return r.Composite().Members },
-				CommandPost: func() asset.ID { return r.Sink() },
-			},
-			Plan: plan,
-			Goodput: func() (uint64, uint64) {
-				return r.Metrics.OnTime.Value(), r.Metrics.Incidents.Value()
-			},
+	// execute builds a fresh world and runs the whole scenario once.
+	// Replay verification calls it twice with journals and diffs them;
+	// the quiet flag mutes the per-run narration on the second pass.
+	execute := func(journal *checkpoint.Journal, quiet bool) error {
+		var terr *geo.Terrain
+		switch *terrain {
+		case "open":
+			terr = geo.NewOpenTerrain(*size, *size)
+		case "urban":
+			terr = geo.NewUrbanTerrain(*size, *size, 100)
+		case "sparse":
+			terr = geo.NewSparseTerrain(*size, *size)
+		default:
+			return fmt.Errorf("unknown terrain %q", *terrain)
 		}
-		var err error
-		if rep, err = h.Run(horizon); err != nil {
+
+		cfg := core.WorldConfig{Seed: *seed, Terrain: terr, Assets: *assets}
+		if *churn {
+			cfg.Churn = &asset.ChurnConfig{FailRatePerMin: 0.02, ArriveRatePerMin: 3, ReviveProb: 0.5}
+		}
+		w := core.NewWorld(cfg)
+		defer w.Stop()
+
+		var m core.Mission
+		if *spec != "" {
+			raw, err := os.ReadFile(*spec)
+			if err != nil {
+				return fmt.Errorf("read spec: %w", err)
+			}
+			m, err = intent.Parse(string(raw))
+			if err != nil {
+				return err
+			}
+		} else {
+			pad := *size / 5
+			m = core.DefaultMission(geo.NewRect(
+				geo.Point{X: pad, Y: pad}, geo.Point{X: *size - pad, Y: *size - pad}))
+			m.Goal.CoverageFrac = 0.5
+			m.IncidentsPerMin = *rate
+			m.HierarchyLevels = *levels
+			switch *command {
+			case "intent":
+				m.Command = core.CommandIntent
+			case "hierarchy":
+				m.Command = core.CommandHierarchy
+			default:
+				return fmt.Errorf("unknown command model %q", *command)
+			}
+		}
+
+		m.Degradation = m.Degradation || *degrade
+		m.ReliableOrders = m.ReliableOrders || *reliab
+		m.CheckpointEvery = *ckEvery
+
+		r := core.NewRuntime(w, m)
+		r.SetJournal(journal)
+		if err := r.Synthesize(); err != nil {
+			return fmt.Errorf("synthesis: %w", err)
+		}
+		comp := r.Composite()
+		if !quiet {
+			fmt.Printf("world: %d assets on %s terrain (%gm)\n", w.Pop.Len(), *terrain, *size)
+			fmt.Printf("composite: %d members, coverage %.2f, connected %v, mean trust %.2f\n",
+				len(comp.Members), comp.Assurance.CoverageFrac, comp.Assurance.Connected,
+				comp.Assurance.MeanTrust)
+			if *ckEvery > 0 {
+				fmt.Printf("checkpoints: every %s\n", *ckEvery)
+			}
+		}
+
+		if err := r.Start(); err != nil {
 			return err
 		}
-	} else if err := w.Run(horizon); err != nil {
-		return err
-	}
-	r.Stop()
+		if *jam {
+			w.Jam.Add(attack.Jammer{
+				Area:      geo.Circle{Center: terr.Bounds.Center(), Radius: *size / 3},
+				Intensity: 0.9,
+				From:      2 * time.Minute,
+			})
+			if !quiet {
+				fmt.Println("jammer armed: center of map at t=2min")
+			}
+		}
+		horizon := time.Duration(*minutes) * time.Minute
+		var rep *fault.Report
+		if plan != nil {
+			if !quiet {
+				fmt.Printf("fault plan %q armed: %d faults\n", plan.Name, len(plan.Faults))
+			}
+			h := &fault.Harness{
+				T: fault.Target{
+					Eng: w.Eng, Pop: w.Pop, Net: w.Net, Jam: w.Jam, Smoke: w.Smoke,
+					Composite:   func() []asset.ID { return r.Composite().Members },
+					CommandPost: func() asset.ID { return r.Sink() },
+					CrashPost:   r.CrashPost,
+					Failover:    r.Failover,
+				},
+				Plan: plan,
+				Goodput: func() (uint64, uint64) {
+					return r.Metrics.OnTime.Value(), r.Metrics.Incidents.Value()
+				},
+				Invariants: []fault.Invariant{
+					{Name: "message-conservation", Check: w.Net.CheckConservation},
+				},
+				Recovery: fault.RecoveryHooks(r.Probe()),
+			}
+			var err error
+			if rep, err = h.Run(horizon); err != nil {
+				return err
+			}
+		} else if err := w.Run(horizon); err != nil {
+			return err
+		}
+		r.Stop()
+		if quiet {
+			return nil
+		}
 
-	met := &r.Metrics
-	fmt.Printf("\nmission results (%d simulated minutes, %s command):\n", *minutes, m.Command)
-	fmt.Printf("  incidents:        %d\n", met.Incidents.Value())
-	fmt.Printf("  detected:         %d (%.0f%%)\n", met.Detected.Value(), 100*met.DetectionRate())
-	fmt.Printf("  acted:            %d\n", met.Acted.Value())
-	fmt.Printf("  on time:          %d (success %.0f%%)\n", met.OnTime.Value(), 100*met.SuccessRate())
-	fmt.Printf("  decision latency: %s\n", met.DecisionLatency.Summarize())
-	fmt.Printf("  reflex repairs:   %d\n", met.Repairs.Value())
-	fmt.Printf("  undeliverable:    %d\n", met.Undeliverable.Value())
-	if m.Degradation {
-		fmt.Printf("  degradation: fallbacks=%d restores=%d relaxations=%d\n",
-			met.Fallbacks.Value(), met.Restores.Value(), met.Relaxations.Value())
+		met := &r.Metrics
+		fmt.Printf("\nmission results (%d simulated minutes, %s command):\n", *minutes, m.Command)
+		fmt.Printf("  incidents:        %d\n", met.Incidents.Value())
+		fmt.Printf("  detected:         %d (%.0f%%)\n", met.Detected.Value(), 100*met.DetectionRate())
+		fmt.Printf("  acted:            %d\n", met.Acted.Value())
+		fmt.Printf("  on time:          %d (success %.0f%%)\n", met.OnTime.Value(), 100*met.SuccessRate())
+		fmt.Printf("  decision latency: %s\n", met.DecisionLatency.Summarize())
+		fmt.Printf("  reflex repairs:   %d\n", met.Repairs.Value())
+		fmt.Printf("  undeliverable:    %d\n", met.Undeliverable.Value())
+		if m.Degradation {
+			fmt.Printf("  degradation: fallbacks=%d restores=%d relaxations=%d\n",
+				met.Fallbacks.Value(), met.Restores.Value(), met.Relaxations.Value())
+		}
+		if c := r.Checkpoints(); c != nil {
+			fmt.Printf("  checkpoints: taken=%d skipped=%d restores=%d bytes=%d failovers=%d\n",
+				c.Taken.Value(), c.Skipped.Value(), c.Restores.Value(), c.BytesTotal.Value(),
+				met.Failovers.Value())
+		}
+		fmt.Printf("  health: %s (%d transitions)\n", r.Health(), met.HealthChanges.Value())
+		fmt.Printf("  network: delivered=%d dropped=%d noroute=%d\n",
+			w.Net.Delivered.Value(), w.Net.Dropped.Value(), w.Net.NoRoute.Value())
+		fmt.Printf("  fingerprint: %016x\n", met.Fingerprint())
+		if rep != nil {
+			fmt.Printf("\n%s", rep)
+		}
+		return nil
 	}
-	fmt.Printf("  health: %s (%d transitions)\n", r.Health(), met.HealthChanges.Value())
-	fmt.Printf("  network: delivered=%d dropped=%d noroute=%d\n",
-		w.Net.Delivered.Value(), w.Net.Dropped.Value(), w.Net.NoRoute.Value())
-	if rep != nil {
-		fmt.Printf("\n%s", rep)
+
+	if *verify {
+		planStr := ""
+		if plan != nil {
+			planStr = plan.String()
+		}
+		var runErr error
+		first := true
+		div := checkpoint.VerifyReplay(*seed, planStr, func(j *checkpoint.Journal) {
+			if runErr != nil {
+				return
+			}
+			runErr = execute(j, !first)
+			first = false
+		})
+		if runErr != nil {
+			return runErr
+		}
+		if div != nil {
+			return fmt.Errorf("replay verification FAILED: %s", div.Error())
+		}
+		fmt.Println("\nreplay verification OK: two runs produced byte-identical decision journals")
+		return nil
 	}
-	return nil
+	return execute(nil, false)
 }

@@ -1,0 +1,42 @@
+package compose
+
+import (
+	"testing"
+
+	"iobt/internal/asset"
+	"iobt/internal/checkpoint"
+)
+
+func TestCompositeEncodeDecodeRoundTrip(t *testing.T) {
+	c := &Composite{Members: []asset.ID{4, 1, 9}}
+	c.Assurance.CoverageFrac = 0.82
+	c.Assurance.Connected = true
+	c.Assurance.MeanTrust = 0.71
+	c.Assurance.RiskFrac = 0.05
+	c.Assurance.Feasible = true
+
+	e := checkpoint.NewEncoder()
+	EncodeComposite(e, c)
+	got := DecodeComposite(checkpoint.NewDecoder(e.Bytes()))
+	if got == nil {
+		t.Fatal("decoded nil for non-nil composite")
+	}
+	if len(got.Members) != 3 || got.Members[0] != 4 || got.Members[1] != 1 || got.Members[2] != 9 {
+		t.Errorf("members = %v, want [4 1 9]", got.Members)
+	}
+	if got.Assurance.CoverageFrac != c.Assurance.CoverageFrac ||
+		got.Assurance.Connected != c.Assurance.Connected ||
+		got.Assurance.MeanTrust != c.Assurance.MeanTrust ||
+		got.Assurance.RiskFrac != c.Assurance.RiskFrac ||
+		got.Assurance.Feasible != c.Assurance.Feasible {
+		t.Errorf("assurance = %+v, want %+v", got.Assurance, c.Assurance)
+	}
+}
+
+func TestCompositeEncodeNil(t *testing.T) {
+	e := checkpoint.NewEncoder()
+	EncodeComposite(e, nil)
+	if got := DecodeComposite(checkpoint.NewDecoder(e.Bytes())); got != nil {
+		t.Errorf("decoded %+v for nil marker, want nil", got)
+	}
+}

@@ -35,6 +35,8 @@ func TestChaosMissionInvariants(t *testing.T) {
 		m.IncidentsPerMin = 40
 		if seed%2 == 0 {
 			m.Command = CommandHierarchy
+			m.ReliableOrders = true
+			m.CheckpointEvery = 15 * time.Second
 		}
 		if seed%4 == 0 {
 			m.Degradation = true
@@ -65,6 +67,13 @@ func TestChaosMissionInvariants(t *testing.T) {
 			Kind: fault.KillWave, At: 45 * time.Second,
 			Fraction: 1.0 / 3, Select: fault.SelectComposite,
 		})
+		if seed%2 == 0 {
+			// Crash the post and promote a successor (alternating warm and
+			// cold), so the invariants — message conservation above all —
+			// are exercised across the crash/restore boundary.
+			plan.Add(fault.Fault{Kind: fault.CrashPost, At: 80 * time.Second})
+			plan.Add(fault.Fault{Kind: fault.Failover, At: 85 * time.Second, Warm: seed%4 == 0})
+		}
 
 		met := &r.Metrics
 		h := &fault.Harness{
@@ -72,10 +81,13 @@ func TestChaosMissionInvariants(t *testing.T) {
 				Eng: w.Eng, Pop: w.Pop, Net: w.Net, Jam: w.Jam, Smoke: w.Smoke,
 				Composite:   func() []asset.ID { return r.Composite().Members },
 				CommandPost: func() asset.ID { return r.Sink() },
+				CrashPost:   r.CrashPost,
+				Failover:    r.Failover,
 			},
 			Plan:    plan,
 			Goodput: func() (uint64, uint64) { return met.OnTime.Value(), met.Incidents.Value() },
 			Invariants: []fault.Invariant{
+				{Name: "message-conservation", Check: w.Net.CheckConservation},
 				{Name: "detected<=incidents", Check: func() error {
 					if met.Detected.Value() > met.Incidents.Value() {
 						return fmt.Errorf("detected %d > incidents %d", met.Detected.Value(), met.Incidents.Value())

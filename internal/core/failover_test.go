@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"iobt/internal/asset"
+	"iobt/internal/checkpoint"
+	"iobt/internal/fault"
+	"iobt/internal/geo"
+	"iobt/internal/track"
+)
+
+// failoverMission builds a hierarchy+ARQ mission with checkpoints and a
+// deterministic track scenario, runs it under a crash(+failover) plan,
+// and returns the runtime, report, and world.
+func runFailover(t *testing.T, seed int64, every time.Duration, plan *fault.Plan, journal *checkpoint.Journal) (*Runtime, *fault.Report, *World) {
+	t.Helper()
+	w := NewWorld(WorldConfig{Seed: seed, Terrain: geo.NewOpenTerrain(1200, 1200), Assets: 250})
+	m := DefaultMission(geo.NewRect(geo.Point{X: 200, Y: 200}, geo.Point{X: 1000, Y: 1000}))
+	m.Goal.CoverageFrac = 0.4
+	m.Command = CommandHierarchy
+	m.ReliableOrders = true
+	m.IncidentsPerMin = 30
+	m.CheckpointEvery = every
+	m.TrustAudit = true
+	r := NewRuntime(w, m)
+	r.SetJournal(journal)
+
+	// A deterministic target picture fused at the post: three crossing
+	// targets observed once a second.
+	tracker := track.NewTracker(track.Config{})
+	r.AttachTracker(tracker)
+	w.Eng.Every(time.Second, "test.targets", func() {
+		ts := w.Eng.Now().Seconds()
+		tracker.Observe(w.Eng.Now(), []track.Detection{
+			{Pos: geo.Point{X: 200 + 3*ts, Y: 300}, Var: 9, Sensor: 1},
+			{Pos: geo.Point{X: 900 - 2*ts, Y: 600}, Var: 9, Sensor: 2},
+			{Pos: geo.Point{X: 550, Y: 200 + 2.5*ts}, Var: 9, Sensor: 3},
+		})
+	})
+
+	if err := r.Synthesize(); err != nil {
+		t.Skip("sparse world")
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h := &fault.Harness{
+		T: fault.Target{
+			Eng: w.Eng, Pop: w.Pop, Net: w.Net, Jam: w.Jam, Smoke: w.Smoke,
+			Composite:   func() []asset.ID { return r.Composite().Members },
+			CommandPost: func() asset.ID { return r.Sink() },
+			CrashPost:   r.CrashPost,
+			Failover:    r.Failover,
+		},
+		Plan: plan,
+		Goodput: func() (uint64, uint64) {
+			return r.Metrics.OnTime.Value(), r.Metrics.Incidents.Value()
+		},
+		Invariants: []fault.Invariant{
+			{Name: "message-conservation", Check: w.Net.CheckConservation},
+		},
+		Recovery: fault.RecoveryHooks(r.Probe()),
+	}
+	rep, err := h.Run(4 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Stop()
+	w.Stop()
+	return r, rep, w
+}
+
+func crashPlan(mode string) *fault.Plan {
+	p := &fault.Plan{Name: "crash-" + mode}
+	p.Add(fault.Fault{Kind: fault.CrashPost, At: 119 * time.Second})
+	switch mode {
+	case "warm":
+		p.Add(fault.Fault{Kind: fault.Failover, At: 119*time.Second + 500*time.Millisecond, Warm: true})
+	case "cold":
+		p.Add(fault.Fault{Kind: fault.Failover, At: 119*time.Second + 500*time.Millisecond, Warm: false})
+	}
+	return p
+}
+
+// TestFailoverWarmBeatsCold is the tentpole property: at the same seed
+// and crash time, a warm-promoted successor loses fewer orders and
+// resumes faster than a cold-promoted one, which in turn beats no
+// promotion at all.
+func TestFailoverWarmBeatsCold(t *testing.T) {
+	const seed = 11
+	_, warm, _ := runFailover(t, seed, 15*time.Second, crashPlan("warm"), nil)
+	_, cold, _ := runFailover(t, seed, 15*time.Second, crashPlan("cold"), nil)
+	_, none, _ := runFailover(t, seed, 15*time.Second, crashPlan("none"), nil)
+
+	for name, rep := range map[string]*fault.Report{"warm": warm, "cold": cold, "none": none} {
+		if !rep.OK() {
+			t.Fatalf("%s: invariant violations: %s", name, rep)
+		}
+		if len(rep.Recovery) != 1 {
+			t.Fatalf("%s: %d recovery gaps, want 1", name, len(rep.Recovery))
+		}
+	}
+	gw, gc, gn := warm.Recovery[0], cold.Recovery[0], none.Recovery[0]
+	t.Logf("warm: %s", gw)
+	t.Logf("cold: %s", gc)
+	t.Logf("none: %s", gn)
+
+	if !gw.Resumed {
+		t.Fatal("warm failover did not resume command")
+	}
+	if !gc.Resumed {
+		t.Fatal("cold failover did not resume command")
+	}
+	if gn.Resumed {
+		t.Error("no-failover run resumed command; repickSink leak past postDown?")
+	}
+	if gw.TimeToResume >= gc.TimeToResume {
+		t.Errorf("warm resume %s not faster than cold %s", gw.TimeToResume, gc.TimeToResume)
+	}
+	if gw.OrdersLost > gc.OrdersLost {
+		t.Errorf("warm lost %d orders, cold lost %d", gw.OrdersLost, gc.OrdersLost)
+	}
+	if gc.OrdersLost > gn.OrdersLost {
+		t.Errorf("cold lost %d orders, none lost %d", gc.OrdersLost, gn.OrdersLost)
+	}
+	// Warm restores the checkpointed trust ledger; cold rebuilds from
+	// nothing, so everything the ledger held goes stale.
+	if gw.StaleTrust >= gc.StaleTrust {
+		t.Errorf("warm stale trust %.2f not below cold %.2f", gw.StaleTrust, gc.StaleTrust)
+	}
+	// Warm restores the track picture; cold re-acquires every target.
+	if gw.TrackFrag > gc.TrackFrag {
+		t.Errorf("warm track frag %d above cold %d", gw.TrackFrag, gc.TrackFrag)
+	}
+}
+
+// TestFailoverDeterministicFingerprint runs the warm-failover mission
+// twice at the same seed and requires bit-identical metrics.
+func TestFailoverDeterministicFingerprint(t *testing.T) {
+	r1, _, _ := runFailover(t, 23, 15*time.Second, crashPlan("warm"), nil)
+	r2, _, _ := runFailover(t, 23, 15*time.Second, crashPlan("warm"), nil)
+	if f1, f2 := r1.Metrics.Fingerprint(), r2.Metrics.Fingerprint(); f1 != f2 {
+		t.Errorf("same-seed warm failover fingerprints differ: %016x vs %016x", f1, f2)
+	}
+}
+
+// TestReplayVerifyFailoverPlan replays the full crash+warm-failover
+// mission from its journal and requires zero divergence: the decision
+// log — every incident, action, checkpoint digest, crash, and
+// promotion — must be byte-identical across runs.
+func TestReplayVerifyFailoverPlan(t *testing.T) {
+	plan := crashPlan("warm")
+	div := checkpoint.VerifyReplay(31, plan.String(), func(j *checkpoint.Journal) {
+		runFailover(t, 31, 15*time.Second, plan, j)
+	})
+	if div != nil {
+		t.Errorf("replay diverged at line %d:\n  run A: %s\n  run B: %s", div.Index, div.A, div.B)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"iobt/internal/asset"
+	"iobt/internal/checkpoint"
+	"iobt/internal/fault"
+	"iobt/internal/geo"
+)
+
+// runStandard runs the reference mission (hierarchy + ARQ, degradation
+// reflexes on) under the standard fault plan and returns the runtime.
+func runStandard(t *testing.T, seed int64, journal *checkpoint.Journal) *Runtime {
+	t.Helper()
+	w := NewWorld(WorldConfig{Seed: seed, Terrain: geo.NewOpenTerrain(1200, 1200), Assets: 250})
+	defer w.Stop()
+	m := DefaultMission(geo.NewRect(geo.Point{X: 200, Y: 200}, geo.Point{X: 1000, Y: 1000}))
+	m.Goal.CoverageFrac = 0.4
+	m.Command = CommandHierarchy
+	m.ReliableOrders = true
+	m.Degradation = true
+	m.IncidentsPerMin = 30
+	m.CheckpointEvery = 15 * time.Second
+	r := NewRuntime(w, m)
+	r.SetJournal(journal)
+	if err := r.Synthesize(); err != nil {
+		t.Skip("sparse world")
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	h := &fault.Harness{
+		T: fault.Target{
+			Eng: w.Eng, Pop: w.Pop, Net: w.Net, Jam: w.Jam, Smoke: w.Smoke,
+			Composite:   func() []asset.ID { return r.Composite().Members },
+			CommandPost: func() asset.ID { return r.Sink() },
+		},
+		Plan: fault.StandardPlan(1200),
+		Goodput: func() (uint64, uint64) {
+			return r.Metrics.OnTime.Value(), r.Metrics.Incidents.Value()
+		},
+		Invariants: []fault.Invariant{
+			{Name: "message-conservation", Check: w.Net.CheckConservation},
+		},
+	}
+	rep, err := h.Run(3 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("invariant violations: %s", rep)
+	}
+	return r
+}
+
+// TestGoldenDeterminism is the golden determinism regression: the
+// standard fault plan run twice at the same seed must produce
+// bit-identical mission metrics — not just a few counters, the full
+// Fingerprint (every counter plus the latency/repair series shapes).
+func TestGoldenDeterminism(t *testing.T) {
+	f1 := runStandard(t, 42, nil).Metrics.Fingerprint()
+	f2 := runStandard(t, 42, nil).Metrics.Fingerprint()
+	if f1 != f2 {
+		t.Errorf("same-seed standard-plan fingerprints differ: %016x vs %016x", f1, f2)
+	}
+}
+
+// TestReplayVerifyStandardPlan replays the standard-plan mission from
+// its decision journal and requires zero divergence.
+func TestReplayVerifyStandardPlan(t *testing.T) {
+	plan := fault.StandardPlan(1200)
+	div := checkpoint.VerifyReplay(42, plan.String(), func(j *checkpoint.Journal) {
+		runStandard(t, 42, j)
+	})
+	if div != nil {
+		t.Errorf("replay diverged at line %d:\n  run A: %s\n  run B: %s", div.Index, div.A, div.B)
+	}
+}

@@ -73,6 +73,26 @@ type Mission struct {
 	// IncidentDeadline is how long an incident stays actionable.
 	// Zero defaults to 30s.
 	IncidentDeadline time.Duration
+
+	// CheckpointEvery enables periodic mission checkpoints at this
+	// cadence (zero disables). Checkpoints capture command-post state —
+	// composite roll, trust ledger, track picture, ARQ window — so a
+	// successor post can be promoted warm after the post is destroyed.
+	// Shorter cadence means a fresher restore at more airtime/compute;
+	// E15 sweeps this trade-off.
+	CheckpointEvery time.Duration
+	// ColdRebuild is how long a cold-promoted successor takes to rebuild
+	// command state from scratch (re-synthesis, re-acquisition). Zero
+	// defaults to 15s.
+	ColdRebuild time.Duration
+	// WarmHandover is how long a warm-promoted successor takes to load
+	// the last checkpoint and resume. Zero defaults to 500ms.
+	WarmHandover time.Duration
+	// TrustAudit makes each completed action feed positive mission
+	// evidence (trust.EvMission) for its detector, so the trust ledger
+	// accumulates signal during the mission — and the evidence lost in a
+	// post crash (the stale-trust window) is measurable.
+	TrustAudit bool
 }
 
 // DefaultMission returns an evacuation-style mission over the given
@@ -117,6 +137,12 @@ func (m Mission) normalized() Mission {
 	}
 	if m.IncidentsPerMin <= 0 {
 		m.IncidentsPerMin = 6
+	}
+	if m.ColdRebuild <= 0 {
+		m.ColdRebuild = 15 * time.Second
+	}
+	if m.WarmHandover <= 0 {
+		m.WarmHandover = 500 * time.Millisecond
 	}
 	return m
 }

@@ -7,10 +7,13 @@ import (
 
 	"iobt/internal/adapt"
 	"iobt/internal/asset"
+	"iobt/internal/checkpoint"
 	"iobt/internal/compose"
 	"iobt/internal/geo"
 	"iobt/internal/mesh"
 	"iobt/internal/sim"
+	"iobt/internal/track"
+	"iobt/internal/trust"
 )
 
 // Metrics collects mission outcomes.
@@ -44,6 +47,13 @@ type Metrics struct {
 	Relaxations sim.Counter
 	// HealthChanges counts mission health-state transitions.
 	HealthChanges sim.Counter
+	// OrdersCarried counts successful command-channel deliveries (each
+	// ACKed report or order leg). With Undeliverable it bounds the
+	// command traffic lost across a post crash.
+	OrdersCarried sim.Counter
+	// Failovers counts command-post promotions performed by Failover
+	// (warm or cold), as opposed to the implicit repickSink path.
+	Failovers sim.Counter
 }
 
 // SuccessRate returns OnTime/Incidents.
@@ -84,6 +94,12 @@ type Runtime struct {
 	orderFails int // consecutive order-delivery failures
 	fellBack   bool
 	relaxSteps int
+
+	// Checkpoint/failover state (see failover.go).
+	coord    *checkpoint.Coordinator
+	journal  *checkpoint.Journal
+	tracker  *track.Tracker
+	postDown bool // post destroyed, successor not yet promoted
 }
 
 // ErrSynthesisFailed wraps composition failure at mission start.
@@ -166,6 +182,7 @@ func (r *Runtime) Start() error {
 		r.repair,
 	)
 	r.healthMon.Start(5 * time.Second)
+	r.startCheckpoints()
 	return nil
 }
 
@@ -178,6 +195,9 @@ func (r *Runtime) Stop() {
 	if r.healthMon != nil {
 		r.healthMon.Stop()
 		r.healthMon = nil
+	}
+	if r.coord != nil {
+		r.coord.Stop()
 	}
 }
 
@@ -235,6 +255,7 @@ func (r *Runtime) repair() {
 	r.install(comp)
 	r.Metrics.Repairs.Inc()
 	r.Metrics.RepairTime.AddDuration(r.W.Eng.Now() - start)
+	r.journalf("repair members=%d", len(comp.Members))
 	r.setHealth(r.computeHealth(r.coverageHolds()))
 }
 
@@ -291,11 +312,14 @@ func (r *Runtime) incident() {
 
 	detector := r.nearestDetector(pos)
 	if detector == asset.None {
+		r.journalf("incident id=%d x=%.2f y=%.2f missed", r.nextIncID, pos.X, pos.Y)
 		return // coverage gap: incident missed
 	}
 	r.Metrics.Detected.Inc()
 	detectedAt := r.W.Eng.Now()
+	r.journalf("incident id=%d x=%.2f y=%.2f det=%d", r.nextIncID, pos.X, pos.Y, detector)
 
+	incID := r.nextIncID
 	complete := func() {
 		now := r.W.Eng.Now()
 		r.Metrics.Acted.Inc()
@@ -303,6 +327,10 @@ func (r *Runtime) incident() {
 		if now <= deadline {
 			r.Metrics.OnTime.Inc()
 		}
+		if r.Mission.TrustAudit {
+			r.W.Trust.Observe(detector, trust.EvMission, true)
+		}
+		r.journalf("acted id=%d ontime=%v", incID, now <= deadline)
 	}
 
 	cmd := r.Mission.Command
@@ -429,6 +457,7 @@ func (r *Runtime) commandHandler(id asset.ID) mesh.Handler {
 
 // commandCarried records a successful command-channel delivery.
 func (r *Runtime) commandCarried() {
+	r.Metrics.OrdersCarried.Inc()
 	r.orderFails = 0
 	r.setHealth(r.computeHealth(true))
 }
@@ -447,6 +476,7 @@ func (r *Runtime) commandFailed() {
 		if !r.fellBack && r.orderFails >= r.Mission.FallbackAfter {
 			r.fellBack = true
 			r.Metrics.Fallbacks.Inc()
+			r.journalf("fallback fails=%d", r.orderFails)
 		}
 	}
 	r.setHealth(r.computeHealth(true))
@@ -470,6 +500,7 @@ func (r *Runtime) tryRestoreHierarchy() {
 			r.fellBack = false
 			r.orderFails = 0
 			r.Metrics.Restores.Inc()
+			r.journalf("restore sink=%d", r.sink)
 			return
 		}
 	}
@@ -481,6 +512,12 @@ func (r *Runtime) sinkAlive() bool {
 }
 
 func (r *Runtime) repickSink() {
+	if r.postDown {
+		// The post was destroyed by a crash fault: promotion is the
+		// failover subsystem's decision (warm/cold/none), not an implicit
+		// side effect of the next delivery failure.
+		return
+	}
 	r.sink = r.W.PickCommandPost()
 	if r.started && r.sink != asset.None {
 		r.registerNode(r.sink)

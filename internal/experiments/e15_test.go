@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestE15WarmBeatsCold asserts the experiment's acceptance shape on the
+// produced table itself: the warm row strictly beats the cold row on
+// orders lost and time-to-resume at every checkpoint interval, and the
+// no-promotion baseline never resumes.
+func TestE15WarmBeatsCold(t *testing.T) {
+	tab := E15Failover(42, testing.Short())
+	if len(tab.Rows) < 3 {
+		t.Fatalf("E15 produced %d rows, want >= 3", len(tab.Rows))
+	}
+	col := func(name string) int {
+		for i, h := range tab.Header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return -1
+	}
+	lost, resume, mode := col("orders lost"), col("resume (s)"), col("mode")
+	num := func(row []string, c int) float64 {
+		v, err := strconv.ParseFloat(row[c], 64)
+		if err != nil {
+			t.Fatalf("row %v column %d: %v", row, c, err)
+		}
+		return v
+	}
+	var coldLost, coldResume float64
+	haveCold := false
+	for _, row := range tab.Rows {
+		switch row[mode] {
+		case "none":
+			if row[resume] != "never" {
+				t.Errorf("no-promotion baseline resumed: %v", row)
+			}
+		case "cold":
+			coldLost, coldResume = num(row, lost), num(row, resume)
+			haveCold = true
+		case "warm":
+			if !haveCold {
+				t.Fatal("warm row before cold row")
+			}
+			if wl := num(row, lost); wl >= coldLost {
+				t.Errorf("warm lost %v orders, not below cold %v: %v", wl, coldLost, row)
+			}
+			if wr := num(row, resume); wr >= coldResume {
+				t.Errorf("warm resumed in %vs, not below cold %vs: %v", wr, coldResume, row)
+			}
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package experiments contains the reproduction harness: one function
-// per experiment in DESIGN.md §4 (E1..E14), each returning a Table with
+// per experiment in DESIGN.md §4 (E1..E15), each returning a Table with
 // the rows the corresponding paper claim predicts. cmd/benchtab prints
 // them; the root bench_test.go wraps them as testing.B benchmarks.
 //
@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -52,6 +53,26 @@ func writeCSVRow(b *strings.Builder, cells []string) {
 		}
 	}
 	b.WriteByte('\n')
+}
+
+// JSON renders the table as an indented JSON document — the
+// machine-readable form committed as BENCH_<ID>.json so runs can be
+// diffed and plotted without re-parsing aligned text.
+func (t *Table) JSON() string {
+	doc := struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  string     `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes}
+	b, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		// A table of strings cannot fail to marshal; keep the signature
+		// print-friendly anyway.
+		return fmt.Sprintf(`{"id":%q,"error":%q}`, t.ID, err)
+	}
+	return string(b) + "\n"
 }
 
 // String renders the table as aligned text.
@@ -119,6 +140,7 @@ func All() []Experiment {
 		{"E12", "team diversity under modality loss", E12Diversity},
 		{"E13", "multi-target tracking continuity", E13Tracking},
 		{"E14", "recovery time vs fault intensity", E14Recovery},
+		{"E15", "command-post failover: none vs cold vs warm", E15Failover},
 	}
 }
 

@@ -52,6 +52,16 @@ const (
 	ChurnSpike
 	// Smoke raises a visual obscurant over Area for the window.
 	Smoke
+	// CrashPost destroys the command post and the state that lived on it
+	// (`crash post` in the DSL). Unlike CommandPostLoss — which only
+	// kills the node and lets the runtime silently re-promote — a crash
+	// also disables implicit re-promotion, so the mission has no post
+	// until a Failover fault (or nothing) decides the disposition.
+	CrashPost
+	// Failover promotes a successor command post after a CrashPost
+	// (`failover warm|cold`). Warm restores the last checkpoint and
+	// requeues the checkpointed ARQ window; cold rebuilds from scratch.
+	Failover
 )
 
 // String names the kind (also the plan-DSL verb).
@@ -73,6 +83,10 @@ func (k Kind) String() string {
 		return "churn"
 	case Smoke:
 		return "smoke"
+	case CrashPost:
+		return "crash"
+	case Failover:
+		return "failover"
 	default:
 		return "unknown"
 	}
@@ -126,6 +140,9 @@ type Fault struct {
 	Extra time.Duration
 	// Select picks the kill-wave victim population.
 	Select Selector
+	// Warm selects the Failover disposition: restore from the last
+	// checkpoint (true) vs. rebuild from scratch (false).
+	Warm bool
 }
 
 // windowed reports whether the fault is an interval (vs. an instant).
@@ -210,6 +227,14 @@ type Target struct {
 	// CommandPost, when set, resolves CommandPostLoss; otherwise the
 	// alive blue asset with the most compute is taken.
 	CommandPost func() asset.ID
+	// CrashPost, when set, implements the `crash post` verb: destroy the
+	// post and its state and disable implicit re-promotion
+	// (core.Runtime.CrashPost). When nil, the verb degrades to
+	// CommandPostLoss semantics.
+	CrashPost func()
+	// Failover, when set, implements the `failover warm|cold` verb
+	// (core.Runtime.Failover). When nil, the verb is a no-op.
+	Failover func(warm bool)
 }
 
 // Injector is a compiled plan: its hooks are installed on the target
@@ -261,6 +286,15 @@ func Apply(t Target, p *Plan) *Injector {
 			t.Eng.ScheduleAt(f.At, "fault.kill", func() { inj.killWave(f) })
 		case CommandPostLoss:
 			t.Eng.ScheduleAt(f.At, "fault.cploss", func() { inj.killCommandPost() })
+		case CrashPost:
+			t.Eng.ScheduleAt(f.At, "fault.crash", func() { inj.crashPost() })
+		case Failover:
+			warm := f.Warm
+			t.Eng.ScheduleAt(f.At, "fault.failover", func() {
+				if inj.t.Failover != nil {
+					inj.t.Failover(warm)
+				}
+			})
 		case ChurnSpike:
 			inj.scheduleChurnSpike(f)
 		}
@@ -356,6 +390,18 @@ func (inj *Injector) killWave(f Fault) {
 		}
 	}
 	inj.t.Net.Refresh()
+}
+
+// crashPost implements the `crash post` verb through the target's
+// CrashPost hook (which destroys the post and its resident state),
+// degrading to plain command-post loss when no hook is wired.
+func (inj *Injector) crashPost() {
+	if inj.t.CrashPost != nil {
+		inj.t.CrashPost()
+		inj.Killed.Inc()
+		return
+	}
+	inj.killCommandPost()
 }
 
 // killCommandPost destroys the current command post.

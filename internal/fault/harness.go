@@ -34,6 +34,9 @@ type Harness struct {
 	DetectFrac, RecoverFrac float64
 	// Window is the smoothing window in samples (default 10).
 	Window int
+	// Recovery, when any hook is set, measures a RecoveryGap around each
+	// `crash post` fault in the plan.
+	Recovery RecoveryHooks
 }
 
 // sample is one goodput observation. goodput is the windowed ratio
@@ -79,6 +82,9 @@ type Report struct {
 	// Final is the mean goodput over the last Window samples.
 	Final float64
 	Faults []FaultReport
+	// Recovery holds one gap measurement per `crash post` fault (empty
+	// when the plan has none or no Recovery hooks were set).
+	Recovery []RecoveryGap
 	// Violations holds every invariant failure (bounded at 100).
 	Violations []Violation
 	// Killed is the number of assets the injector destroyed.
@@ -106,6 +112,9 @@ func (r *Report) String() string {
 				fr.TimeToDetect.Seconds(), fr.TimeToRecover.Seconds(), fr.DegradedGoodput)
 		}
 		b.WriteByte('\n')
+	}
+	for _, g := range r.Recovery {
+		fmt.Fprintf(&b, "  %s\n", g)
 	}
 	for i, v := range r.Violations {
 		if i >= 5 {
@@ -143,8 +152,15 @@ func (h *Harness) Run(horizon time.Duration) (*Report, error) {
 		dones      []uint64
 		totals     []uint64
 	)
+	var recMon *recoveryMonitor
+	if h.Recovery.OrdersDelivered != nil || h.Recovery.OrdersLost != nil {
+		recMon = newRecoveryMonitor(h.Recovery, h.Plan)
+	}
 	tick := h.T.Eng.Every(h.CheckEvery, "fault.harness", func() {
 		now := h.T.Eng.Now()
+		if recMon != nil {
+			recMon.sample(now)
+		}
 		if h.Goodput != nil {
 			done, total := h.Goodput()
 			dones = append(dones, done-lastDone)
@@ -195,6 +211,9 @@ func (h *Harness) Run(horizon time.Duration) (*Report, error) {
 	}
 	for _, f := range h.Plan.Faults {
 		rep.Faults = append(rep.Faults, h.faultReport(f, samples, rep.Baseline))
+	}
+	if recMon != nil {
+		rep.Recovery = recMon.gaps(horizon)
 	}
 	return rep, nil
 }

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -23,6 +24,12 @@ import (
 //	delay     at=2m for=30s add=500ms prob=0.5
 //	churn     at=3m for=60s rate=0.2
 //	smoke     at=3m for=40s cx=500 cy=500 r=200
+//	crash     post at=2m
+//	failover  warm at=2m30s
+//	failover  cold at=2m30s
+//
+// The crash and failover verbs take a positional operand (the crash
+// target, the promotion disposition) before the key=value fields.
 
 // Parse reads a plan in the DSL above.
 func Parse(src string) (*Plan, error) {
@@ -71,8 +78,33 @@ func parseFault(verb string, kvs []string) (Fault, error) {
 		f.Kind = ChurnSpike
 	case "smoke":
 		f.Kind = Smoke
+	case "crash":
+		f.Kind = CrashPost
+	case "failover":
+		f.Kind = Failover
 	default:
-		return f, fmt.Errorf("unknown fault %q", verb)
+		return f, fmt.Errorf("unknown fault verb %q", verb)
+	}
+	// Positional operands come before the key=value fields.
+	switch f.Kind {
+	case CrashPost:
+		if len(kvs) == 0 || strings.ToLower(kvs[0]) != "post" {
+			return f, fmt.Errorf("crash: want operand \"post\" (crash post at=...)")
+		}
+		kvs = kvs[1:]
+	case Failover:
+		if len(kvs) == 0 {
+			return f, fmt.Errorf("failover: want operand \"warm\" or \"cold\"")
+		}
+		switch strings.ToLower(kvs[0]) {
+		case "warm":
+			f.Warm = true
+		case "cold":
+			f.Warm = false
+		default:
+			return f, fmt.Errorf("failover: want operand \"warm\" or \"cold\", got %q", kvs[0])
+		}
+		kvs = kvs[1:]
 	}
 	for _, kv := range kvs {
 		k, v, ok := strings.Cut(kv, "=")
@@ -88,21 +120,21 @@ func parseFault(verb string, kvs []string) (Fault, error) {
 		case "add":
 			f.Extra, err = time.ParseDuration(v)
 		case "x":
-			f.X, err = strconv.ParseFloat(v, 64)
+			f.X, err = parseNum(v)
 		case "cx":
-			f.Area.Center.X, err = strconv.ParseFloat(v, 64)
+			f.Area.Center.X, err = parseNum(v)
 		case "cy":
-			f.Area.Center.Y, err = strconv.ParseFloat(v, 64)
+			f.Area.Center.Y, err = parseNum(v)
 		case "r":
-			f.Area.Radius, err = strconv.ParseFloat(v, 64)
+			f.Area.Radius, err = parseNum(v)
 		case "intensity":
-			f.Intensity, err = strconv.ParseFloat(v, 64)
+			f.Intensity, err = parseNum(v)
 		case "frac":
-			f.Fraction, err = strconv.ParseFloat(v, 64)
+			f.Fraction, err = parseNum(v)
 		case "rate":
-			f.Rate, err = strconv.ParseFloat(v, 64)
+			f.Rate, err = parseNum(v)
 		case "prob":
-			f.Prob, err = strconv.ParseFloat(v, 64)
+			f.Prob, err = parseNum(v)
 		case "of":
 			switch strings.ToLower(v) {
 			case "composite":
@@ -137,39 +169,65 @@ func (p *Plan) String() string {
 func (f Fault) String() string {
 	var b strings.Builder
 	b.WriteString(f.Kind.String())
+	switch f.Kind {
+	case CrashPost:
+		b.WriteString(" post")
+	case Failover:
+		if f.Warm {
+			b.WriteString(" warm")
+		} else {
+			b.WriteString(" cold")
+		}
+	}
 	fmt.Fprintf(&b, " at=%s", f.At)
-	if f.Duration > 0 {
+	// Every nonzero field is emitted — even ones inert for this kind —
+	// so that String is a faithful inverse of Parse and the fuzzed
+	// parse→format→parse round trip is exact.
+	if f.Duration != 0 {
 		fmt.Fprintf(&b, " for=%s", f.Duration)
 	}
 	if f.X != 0 {
 		fmt.Fprintf(&b, " x=%s", ftoa(f.X))
 	}
-	if f.Area.Radius > 0 {
+	if f.Area.Center.X != 0 || f.Area.Center.Y != 0 || f.Area.Radius != 0 {
 		fmt.Fprintf(&b, " cx=%s cy=%s r=%s",
 			ftoa(f.Area.Center.X), ftoa(f.Area.Center.Y), ftoa(f.Area.Radius))
 	}
-	if f.Intensity > 0 {
+	if f.Intensity != 0 {
 		fmt.Fprintf(&b, " intensity=%s", ftoa(f.Intensity))
 	}
-	if f.Fraction > 0 {
+	if f.Fraction != 0 {
 		fmt.Fprintf(&b, " frac=%s", ftoa(f.Fraction))
 	}
-	if f.Rate > 0 {
+	if f.Rate != 0 {
 		fmt.Fprintf(&b, " rate=%s", ftoa(f.Rate))
 	}
-	if f.Prob > 0 {
+	if f.Prob != 0 {
 		fmt.Fprintf(&b, " prob=%s", ftoa(f.Prob))
 	}
-	if f.Extra > 0 {
+	if f.Extra != 0 {
 		fmt.Fprintf(&b, " add=%s", f.Extra)
 	}
-	if f.Kind == KillWave && f.Select == SelectComposite {
+	if f.Select == SelectComposite {
 		b.WriteString(" of=composite")
 	}
 	return b.String()
 }
 
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// parseNum parses a float field, rejecting NaN (a NaN fault parameter
+// is always a mistake and breaks plan comparability).
+func parseNum(v string) (float64, error) {
+	x, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(x) {
+		return 0, fmt.Errorf("NaN is not a valid value")
+	}
+	return x, nil
+}
 
 // StandardPlan is the harness's reference disruption for a square map
 // of the given side length: a 60s mid-map partition, a four-minute

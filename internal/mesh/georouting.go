@@ -61,6 +61,7 @@ func (n *Network) RouteGeo(src, dst NodeID) []NodeID {
 // shortest-path routing when greedy strands. It returns ErrNoRoute when
 // both fail.
 func (n *Network) SendGeo(msg Message) error {
+	n.Sent.Inc()
 	src := n.pop.Get(msg.From)
 	if src == nil || !src.Alive() || !src.Online {
 		n.Dropped.Inc()
@@ -75,6 +76,7 @@ func (n *Network) SendGeo(msg Message) error {
 		return ErrNoRoute
 	}
 	msg.Sent = n.eng.Now()
+	n.inFlight++
 	n.forward(msg, path, 0)
 	return nil
 }

@@ -9,6 +9,7 @@
 package mesh
 
 import (
+	"fmt"
 	"time"
 
 	"iobt/internal/asset"
@@ -105,13 +106,42 @@ type Network struct {
 
 	ticker *sim.Ticker
 
-	// Metrics.
+	// Metrics. Every message accepted by Send/SendDirect/SendGeo (and
+	// each per-neighbor copy fanned out by Broadcast) increments Sent
+	// and reaches exactly one terminal counter — Delivered, Dropped, or
+	// NoRoute — unless it is still traversing hops (InFlight). The
+	// conservation law Delivered+Dropped+NoRoute+InFlight == Sent is
+	// checked continuously by the chaos and failover tests; see
+	// CheckConservation.
 	Delivered  sim.Counter
+	Sent       sim.Counter
 	Dropped    sim.Counter
 	NoRoute    sim.Counter
 	Corrupted  sim.Counter
 	LatencySec sim.Series
 	HopCount   sim.Series
+
+	inFlight int
+}
+
+// InFlight returns the number of messages currently traversing hops
+// (accepted for forwarding but not yet delivered or dropped).
+func (n *Network) InFlight() int { return n.inFlight }
+
+// CheckConservation verifies the message conservation law:
+//
+//	Delivered + Dropped + NoRoute + InFlight == Sent
+//
+// Nothing the network accepts may vanish without a terminal account —
+// not across jamming, kill waves, or a command-post crash/restore. The
+// fault harness runs this as a continuous invariant.
+func (n *Network) CheckConservation() error {
+	accounted := n.Delivered.Value() + n.Dropped.Value() + n.NoRoute.Value() + uint64(n.inFlight)
+	if accounted != n.Sent.Value() {
+		return fmt.Errorf("mesh: conservation violated: delivered %d + dropped %d + noroute %d + inflight %d = %d != sent %d",
+			n.Delivered.Value(), n.Dropped.Value(), n.NoRoute.Value(), n.inFlight, accounted, n.Sent.Value())
+	}
+	return nil
 }
 
 // HopEffect is a per-hop fault verdict returned by the hop-fault hook.

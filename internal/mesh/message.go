@@ -23,6 +23,7 @@ var (
 // Send returns ErrNoRoute/ErrDeadNode for immediately-known failures;
 // a nil error means "in flight", not "will be delivered".
 func (n *Network) Send(msg Message) error {
+	n.Sent.Inc()
 	src := n.pop.Get(msg.From)
 	if src == nil || !src.Alive() || !src.Online {
 		n.Dropped.Inc()
@@ -34,8 +35,16 @@ func (n *Network) Send(msg Message) error {
 		return ErrNoRoute
 	}
 	msg.Sent = n.eng.Now()
+	n.inFlight++
 	n.forward(msg, path, 0)
 	return nil
+}
+
+// dropInFlight retires an in-flight message as dropped, keeping the
+// conservation ledger (see CheckConservation) balanced.
+func (n *Network) dropInFlight() {
+	n.Dropped.Inc()
+	n.inFlight--
 }
 
 // forward schedules the hop from path[i] to path[i+1].
@@ -47,14 +56,14 @@ func (n *Network) forward(msg Message, path []NodeID, i int) {
 	from := n.pop.Get(path[i])
 	to := n.pop.Get(path[i+1])
 	if from == nil || to == nil || !from.Alive() || !to.Alive() {
-		n.Dropped.Inc()
+		n.dropInFlight()
 		return
 	}
 	// The link must still exist (mobility/jamming may have severed it).
 	r := n.linkRange(from, to)
 	d := from.Pos().Dist(to.Pos())
 	if r <= 0 || d > r {
-		n.Dropped.Inc()
+		n.dropInFlight()
 		return
 	}
 	// Distance-dependent loss: quadratic rise toward the range edge,
@@ -62,7 +71,7 @@ func (n *Network) forward(msg Message, path []NodeID, i int) {
 	frac := d / r
 	pLoss := n.cfg.LossBase * frac * frac
 	if n.rng.Bool(pLoss) {
-		n.Dropped.Inc()
+		n.dropInFlight()
 		return
 	}
 	// Energy: transmitter pays per byte.
@@ -73,7 +82,7 @@ func (n *Network) forward(msg Message, path []NodeID, i int) {
 	if n.hopFault != nil {
 		eff := n.hopFault(&msg)
 		if eff.Drop {
-			n.Dropped.Inc()
+			n.dropInFlight()
 			return
 		}
 		if eff.Corrupt {
@@ -138,7 +147,7 @@ func (n *Network) Backlog(id NodeID) float64 {
 func (n *Network) deliver(msg Message) {
 	dst := n.pop.Get(msg.To)
 	if dst == nil || !dst.Alive() || !dst.Online {
-		n.Dropped.Inc()
+		n.dropInFlight()
 		return
 	}
 	if msg.Corrupted {
@@ -150,6 +159,7 @@ func (n *Network) deliver(msg Message) {
 		msg.Payload = nil
 	}
 	n.Delivered.Inc()
+	n.inFlight--
 	n.LatencySec.AddDuration(n.eng.Now() - msg.Sent)
 	n.HopCount.Add(float64(msg.Hops))
 	if h, ok := n.handlers[msg.To]; ok {
@@ -169,6 +179,8 @@ func (n *Network) Broadcast(msg Message) int {
 	for _, nb := range nbrs {
 		m := msg
 		m.To = nb
+		n.Sent.Inc()
+		n.inFlight++
 		n.forward(m, []NodeID{msg.From, nb}, 0)
 	}
 	return len(nbrs)
@@ -178,11 +190,13 @@ func (n *Network) Broadcast(msg Message) int {
 // (dropping) if the nodes are not linked. It is used by protocols that
 // maintain their own overlay (gossip, spanning tree).
 func (n *Network) SendDirect(msg Message) error {
+	n.Sent.Inc()
 	if !n.Linked(msg.From, msg.To) {
 		n.Dropped.Inc()
 		return ErrNoRoute
 	}
 	msg.Sent = n.eng.Now()
+	n.inFlight++
 	n.forward(msg, []NodeID{msg.From, msg.To}, 0)
 	return nil
 }

@@ -37,6 +37,10 @@ type Reliable struct {
 	// (default 0.1). Jitter is drawn from a dedicated engine stream, so
 	// runs stay deterministic per seed.
 	JitterFrac float64
+	// Readdress, when set, rewrites each message as Restore requeues it
+	// after a warm failover (mapping the dead post's ID to its
+	// successor's). Nil leaves messages unchanged.
+	Readdress func(Message) Message
 
 	rng *sim.RNG
 
@@ -60,6 +64,8 @@ type Reliable struct {
 	// Registrations counts Register calls, so tests can assert handlers
 	// are installed once rather than churned per message.
 	Registrations sim.Counter
+	// Requeued counts exchanges re-armed by a warm-failover Restore.
+	Requeued sim.Counter
 }
 
 type rtxState struct {

@@ -1,0 +1,86 @@
+package mesh
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWindowSnapshotRequeueAndFail exercises the warm-failover window
+// disposition: exchanges captured by the snapshot are requeued (with
+// Readdress applied), exchanges begun after the cut fail loudly, and
+// nothing vanishes from the terminal accounting.
+func TestWindowSnapshotRequeueAndFail(t *testing.T) {
+	eng, net := lossyPair(t, 0, 7)
+	r := NewReliable(eng, net)
+	r.Register(1, func(Message) {})
+
+	// Two exchanges in flight at the cut. Pause delivery so they stay
+	// unacknowledged while we snapshot.
+	blocked := true
+	net.SetHopFault(func(*Message) HopEffect { return HopEffect{Drop: blocked} })
+	acked, failed := 0, 0
+	for i := 0; i < 2; i++ {
+		r.Send(Message{From: 0, To: 1, Size: 64, Kind: "order"},
+			func() { acked++ }, func() { failed++ })
+	}
+	snap := r.Snapshot()
+	if got := r.InflightCount(); got != 2 {
+		t.Fatalf("inflight at snapshot = %d, want 2", got)
+	}
+
+	// A third exchange begins after the cut: the snapshot must not know
+	// it, so Restore has to fail it.
+	r.Send(Message{From: 0, To: 1, Size: 64, Kind: "late"},
+		func() { acked++ }, func() { failed++ })
+
+	readdressed := 0
+	r.Readdress = func(m Message) Message { readdressed++; return m }
+	if err := r.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if failed != 1 {
+		t.Fatalf("post-cut exchange failed = %d, want 1", failed)
+	}
+	if readdressed != 2 {
+		t.Fatalf("readdressed %d exchanges, want 2", readdressed)
+	}
+	if got := r.Requeued.Value(); got != 2 {
+		t.Fatalf("Requeued = %d, want 2", got)
+	}
+
+	// Unblock the link; the requeued exchanges must complete.
+	blocked = false
+	_ = eng.Run(time.Minute)
+	if acked != 2 {
+		t.Fatalf("acked = %d, want 2 after requeue", acked)
+	}
+	if err := net.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailInflightColdDisposition checks the cold path: every live
+// exchange fails, firing onFail exactly once each.
+func TestFailInflightColdDisposition(t *testing.T) {
+	eng, net := lossyPair(t, 0, 8)
+	r := NewReliable(eng, net)
+	r.Register(1, func(Message) {})
+	net.SetHopFault(func(*Message) HopEffect { return HopEffect{Drop: true} })
+	failed := 0
+	for i := 0; i < 3; i++ {
+		r.Send(Message{From: 0, To: 1, Size: 64, Kind: "order"}, nil, func() { failed++ })
+	}
+	if n := r.FailInflight(); n != 3 {
+		t.Fatalf("FailInflight = %d, want 3", n)
+	}
+	if failed != 3 {
+		t.Fatalf("onFail fired %d times, want 3", failed)
+	}
+	if r.InflightCount() != 0 {
+		t.Fatalf("inflight = %d after FailInflight", r.InflightCount())
+	}
+	_ = eng.Run(time.Minute)
+	if err := net.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

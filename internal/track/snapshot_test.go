@@ -1,0 +1,63 @@
+package track
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"iobt/internal/geo"
+)
+
+func TestTrackerSnapshotRoundTrip(t *testing.T) {
+	tr := NewTracker(Config{})
+	// Feed two targets long enough to confirm both.
+	for i := 0; i < 5; i++ {
+		now := time.Duration(i) * time.Second
+		tr.Observe(now, []Detection{
+			{Pos: geo.Point{X: 100 + float64(i)*5, Y: 200}, Var: 4, Sensor: 1},
+			{Pos: geo.Point{X: 800, Y: 600 - float64(i)*3}, Var: 4, Sensor: 2},
+		})
+	}
+	if tr.ConfirmedCount() != 2 {
+		t.Fatalf("confirmed = %d, want 2", tr.ConfirmedCount())
+	}
+
+	snap := tr.Snapshot()
+	restored := NewTracker(Config{})
+	if err := restored.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.ConfirmedCount() != 2 {
+		t.Fatalf("restored confirmed = %d, want 2", restored.ConfirmedCount())
+	}
+	if !bytes.Equal(restored.Snapshot(), snap) {
+		t.Error("restored tracker snapshot differs from original")
+	}
+
+	// The restored tracker must continue identically to the original:
+	// same association, same estimates.
+	next := []Detection{{Pos: geo.Point{X: 130, Y: 200}, Var: 4, Sensor: 1}}
+	tr.Observe(6*time.Second, next)
+	restored.Observe(6*time.Second, next)
+	if !bytes.Equal(tr.Snapshot(), restored.Snapshot()) {
+		t.Error("original and restored trackers diverged after identical input")
+	}
+}
+
+func TestTrackerResetCountsDrops(t *testing.T) {
+	tr := NewTracker(Config{})
+	for i := 0; i < 5; i++ {
+		tr.Observe(time.Duration(i)*time.Second,
+			[]Detection{{Pos: geo.Point{X: 100, Y: 200}, Var: 4, Sensor: 1}})
+	}
+	if tr.ConfirmedCount() != 1 {
+		t.Fatalf("confirmed = %d, want 1", tr.ConfirmedCount())
+	}
+	tr.Reset()
+	if tr.ConfirmedCount() != 0 || len(tr.All()) != 0 {
+		t.Error("Reset should discard every hypothesis")
+	}
+	if tr.Dropped != 1 {
+		t.Errorf("Dropped = %d after Reset, want 1", tr.Dropped)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"iobt/internal/asset"
+	"iobt/internal/checkpoint"
 )
 
 // Evidence identifies where an observation came from, for audit and for
@@ -171,3 +172,71 @@ func (l *Ledger) Suspects(threshold float64) []asset.ID {
 
 // Len returns the number of nodes with recorded evidence.
 func (l *Ledger) Len() int { return len(l.records) }
+
+// Reset discards all accumulated evidence, returning every node to the
+// prior. This is the cold-failover path: a rebuilt command post starts
+// with no reputation memory and must re-learn who to trust.
+func (l *Ledger) Reset() {
+	for id := range l.records {
+		delete(l.records, id)
+	}
+}
+
+// EvidenceTotal returns the total weighted evidence accumulated beyond
+// the prior, summed over all nodes. The fault harness samples it to
+// measure the stale-trust window after a failover: how long the
+// successor post operates on less evidence than the lost post held.
+func (l *Ledger) EvidenceTotal() float64 {
+	total := 0.0
+	for _, r := range l.records {
+		total += (r.alpha - l.priorAlpha) + (r.beta - l.priorBeta)
+	}
+	return total
+}
+
+// SnapshotName implements checkpoint.Snapshotter.
+func (l *Ledger) SnapshotName() string { return "trust" }
+
+// Snapshot encodes the ledger deterministically (ids sorted).
+func (l *Ledger) Snapshot() []byte {
+	ids := make([]asset.ID, 0, len(l.records))
+	for id := range l.records {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e := checkpoint.NewEncoder()
+	e.Float64(l.priorAlpha)
+	e.Float64(l.priorBeta)
+	e.Int(len(ids))
+	for _, id := range ids {
+		r := l.records[id]
+		e.Int64(int64(id))
+		e.Float64(r.alpha)
+		e.Float64(r.beta)
+	}
+	return e.Bytes()
+}
+
+// Restore replaces the ledger's state from a snapshot.
+func (l *Ledger) Restore(data []byte) error {
+	d := checkpoint.NewDecoder(data)
+	priorAlpha := d.Float64()
+	priorBeta := d.Float64()
+	n := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	records := make(map[asset.ID]*record, n)
+	for i := 0; i < n; i++ {
+		id := asset.ID(d.Int64())
+		alpha := d.Float64()
+		beta := d.Float64()
+		records[id] = &record{alpha: alpha, beta: beta}
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	l.priorAlpha, l.priorBeta = priorAlpha, priorBeta
+	l.records = records
+	return nil
+}
