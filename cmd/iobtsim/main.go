@@ -11,6 +11,7 @@
 //	iobtsim -faults plan.txt             # custom fault plan in the DSL
 //	iobtsim -checkpoint 15s -faults plan.txt   # warm-failover-capable run
 //	iobtsim -faults standard -replay-verify    # run twice, diff decision logs
+//	iobtsim -faults standard -verify           # arm the invariant registry, fail on violation
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"iobt/internal/fault"
 	"iobt/internal/geo"
 	"iobt/internal/intent"
+	"iobt/internal/verify"
 )
 
 func main() {
@@ -53,7 +55,8 @@ func run(args []string) error {
 		degrade = fs.Bool("degrade", false, "enable graceful-degradation reflexes (command fallback, coverage relaxation)")
 		reliab  = fs.Bool("reliable", false, "carry command traffic over the ARQ layer")
 		ckEvery = fs.Duration("checkpoint", 0, "checkpoint cadence (0 disables; enables `failover warm` in fault plans)")
-		verify  = fs.Bool("replay-verify", false, "run the scenario twice and diff the decision journals (determinism check)")
+		replay  = fs.Bool("replay-verify", false, "run the scenario twice and diff the decision journals (determinism check)")
+		verif   = fs.Bool("verify", false, "arm the full invariant registry during the run and exit nonzero on any violation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,6 +149,12 @@ func run(args []string) error {
 		if err := r.Start(); err != nil {
 			return err
 		}
+		// The invariant registry is always armed: under a fault plan the
+		// harness drives its cadence; otherwise (with -verify) a 1s sweep
+		// ticker does. -verify turns any violation into a nonzero exit.
+		reg := verify.NewRegistry()
+		reg.Add(verify.MissionInvariants(w, r)...)
+		reg.SetClock(w.Eng.Now)
 		if *jam {
 			w.Jam.Add(attack.Jammer{
 				Area:      geo.Circle{Center: terr.Bounds.Center(), Radius: *size / 3},
@@ -174,20 +183,29 @@ func run(args []string) error {
 				Goodput: func() (uint64, uint64) {
 					return r.Metrics.OnTime.Value(), r.Metrics.Incidents.Value()
 				},
-				Invariants: []fault.Invariant{
-					{Name: "message-conservation", Check: w.Net.CheckConservation},
-				},
-				Recovery: fault.RecoveryHooks(r.Probe()),
+				Invariants: reg.FaultInvariants(),
+				Recovery:   fault.RecoveryHooks(r.Probe()),
 			}
 			var err error
 			if rep, err = h.Run(horizon); err != nil {
 				return err
 			}
-		} else if err := w.Run(horizon); err != nil {
-			return err
+		} else {
+			if *verif {
+				reg.Arm(w.Eng, time.Second)
+			}
+			if err := w.Run(horizon); err != nil {
+				return err
+			}
+			reg.CheckNow(w.Eng.Now())
+			reg.Disarm()
 		}
 		r.Stop()
+		summary := reg.Summarize()
 		if quiet {
+			if *verif && !reg.OK() {
+				return fmt.Errorf("%s", summary)
+			}
 			return nil
 		}
 
@@ -216,10 +234,14 @@ func run(args []string) error {
 		if rep != nil {
 			fmt.Printf("\n%s", rep)
 		}
+		fmt.Printf("  %s\n", summary)
+		if *verif && !reg.OK() {
+			return fmt.Errorf("%s", summary)
+		}
 		return nil
 	}
 
-	if *verify {
+	if *replay {
 		planStr := ""
 		if plan != nil {
 			planStr = plan.String()

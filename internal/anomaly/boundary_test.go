@@ -1,0 +1,255 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDetectorBoundaries drives the streaming z-score detector through
+// its edge regimes: cold start, constant (zero-variance) streams,
+// parameter clamping, and the ramp-up/freeze transition.
+func TestDetectorBoundaries(t *testing.T) {
+	t.Run("cold-start-scores-zero", func(t *testing.T) {
+		d := NewDetector(0.1, 3)
+		if s := d.Score(1e9); s != 0 {
+			t.Errorf("score before two observations = %v, want 0", s)
+		}
+		d.Observe(5)
+		if s := d.Score(1e9); s != 0 {
+			t.Errorf("score after one observation = %v, want 0", s)
+		}
+	})
+
+	t.Run("constant-stream", func(t *testing.T) {
+		d := NewDetector(0.1, 3)
+		for i := 0; i < 50; i++ {
+			d.Observe(7)
+		}
+		if s := d.Score(7); s != 0 {
+			t.Errorf("score of the constant value = %v, want 0", s)
+		}
+		// Any deviation from a zero-variance baseline is maximally
+		// anomalous.
+		if !d.Anomalous(7.001) {
+			t.Error("deviation from constant stream not anomalous")
+		}
+	})
+
+	t.Run("param-clamping", func(t *testing.T) {
+		for _, d := range []*Detector{
+			NewDetector(0, 0), NewDetector(-1, -2), NewDetector(1, 3), NewDetector(2, 0),
+		} {
+			if d.Threshold <= 0 {
+				t.Errorf("threshold not clamped: %v", d.Threshold)
+			}
+			if d.alpha <= 0 || d.alpha >= 1 {
+				t.Errorf("alpha not clamped: %v", d.alpha)
+			}
+		}
+	})
+
+	t.Run("frozen-baseline-resists-attack-burst", func(t *testing.T) {
+		d := NewDetector(0.1, 3)
+		for i := 0; i < 40; i++ {
+			d.Observe(10 + 0.1*float64(i%5)) // settled normal around 10
+		}
+		// A sustained burst of attack values must stay anomalous: the
+		// frozen baseline refuses to absorb them.
+		for i := 0; i < 20; i++ {
+			if !d.Anomalous(1000) {
+				t.Fatalf("attack value legitimized after %d observations", i)
+			}
+			d.Observe(1000)
+		}
+	})
+}
+
+// TestMADBoundaries covers the robust scorer's degenerate windows.
+func TestMADBoundaries(t *testing.T) {
+	cases := []struct {
+		name   string
+		window []float64
+		v      float64
+		want   float64
+	}{
+		{"empty-window", nil, 42, 0},
+		{"identical-window-same-value", []float64{5, 5, 5}, 5, 0},
+		{"identical-window-other-value", []float64{5, 5, 5}, 6, math.Inf(1)},
+		{"single-element-same", []float64{3}, 3, 0},
+		{"single-element-other", []float64{3}, 9, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if got := MAD(tc.window, tc.v); got != tc.want {
+				t.Errorf("MAD(%v, %v) = %v, want %v", tc.window, tc.v, got, tc.want)
+			}
+		})
+	}
+	t.Run("robust-to-contamination", func(t *testing.T) {
+		window := []float64{10, 10.1, 9.9, 10.2, 9.8, 1000, 1000} // 2/7 contaminated
+		if s := MAD(window, 10); s > 3 {
+			t.Errorf("inlier scored %v against contaminated window", s)
+		}
+		if s := MAD(window, 1000); s < 3 {
+			t.Errorf("outlier scored only %v against contaminated window", s)
+		}
+	})
+}
+
+// TestAttentionBoundaries covers the attention service's parameter
+// clamps and its one-shot-decoy vs sustained-anomaly discrimination.
+func TestAttentionBoundaries(t *testing.T) {
+	t.Run("no-observations", func(t *testing.T) {
+		a := NewAttention(0, 0) // both clamped to defaults
+		if r := a.Ranked(); len(r) != 0 {
+			t.Errorf("empty service ranked %v", r)
+		}
+	})
+
+	t.Run("minhits-above-window-clamped", func(t *testing.T) {
+		a := NewAttention(4, 99)
+		if a.minHits > a.window {
+			t.Errorf("minHits %d > window %d", a.minHits, a.window)
+		}
+	})
+
+	t.Run("single-spike-not-ranked", func(t *testing.T) {
+		a := NewAttention(10, 3)
+		for i := 0; i < 40; i++ {
+			a.Observe("decoy", 5)
+		}
+		a.Observe("decoy", 500) // one-shot distraction
+		for i := 0; i < 5; i++ {
+			a.Observe("decoy", 5)
+		}
+		if r := a.Ranked(); len(r) != 0 {
+			t.Errorf("one-shot spike earned attention: %v", r)
+		}
+	})
+
+	t.Run("sustained-anomaly-ranked", func(t *testing.T) {
+		a := NewAttention(10, 3)
+		for i := 0; i < 40; i++ {
+			a.Observe("real", 5)
+		}
+		for i := 0; i < 5; i++ {
+			a.Observe("real", 500)
+		}
+		r := a.Ranked()
+		if len(r) != 1 || r[0] != "real" {
+			t.Errorf("sustained anomaly not ranked: %v", r)
+		}
+	})
+}
+
+// TestCUSUMBoundaries covers parameter clamping, the
+// no-change/small-shift/persistent-shift regimes, and reset semantics.
+func TestCUSUMBoundaries(t *testing.T) {
+	t.Run("param-clamping", func(t *testing.T) {
+		c := NewCUSUM(0, -1, -1, -1)
+		if c.Sigma != 1 || c.Drift != 0.5 || c.Threshold != 5 {
+			t.Errorf("defaults not applied: sigma=%v drift=%v threshold=%v", c.Sigma, c.Drift, c.Threshold)
+		}
+	})
+
+	t.Run("in-control-never-alarms", func(t *testing.T) {
+		c := NewCUSUM(10, 1, 0.5, 5)
+		vals := []float64{10.2, 9.8, 10.1, 9.9, 10, 10.3, 9.7}
+		for i := 0; i < 100; i++ {
+			if c.Observe(vals[i%len(vals)]) {
+				t.Fatalf("alarm on in-control stream at sample %d", i)
+			}
+		}
+	})
+
+	t.Run("persistent-shift-alarms", func(t *testing.T) {
+		c := NewCUSUM(10, 1, 0.5, 5)
+		alarmed := false
+		for i := 0; i < 30; i++ {
+			if c.Observe(12) { // +2 sigma sustained
+				alarmed = true
+				break
+			}
+		}
+		if !alarmed {
+			t.Fatal("no alarm on a sustained +2-sigma shift")
+		}
+		if c.Stat() != 0 {
+			t.Errorf("statistics not reset after alarm: %v", c.Stat())
+		}
+	})
+
+	t.Run("downward-shift-alarms", func(t *testing.T) {
+		c := NewCUSUM(10, 1, 0.5, 5)
+		alarmed := false
+		for i := 0; i < 30; i++ {
+			if c.Observe(8) {
+				alarmed = true
+				break
+			}
+		}
+		if !alarmed {
+			t.Fatal("no alarm on a sustained -2-sigma shift")
+		}
+	})
+
+	t.Run("reset-disarms-without-alarm", func(t *testing.T) {
+		c := NewCUSUM(10, 1, 0.5, 5)
+		for i := 0; i < 3; i++ {
+			c.Observe(12)
+		}
+		if c.Stat() == 0 {
+			t.Fatal("statistic did not accumulate")
+		}
+		c.Reset()
+		if c.Stat() != 0 || c.Alarms != 0 {
+			t.Errorf("Reset left stat=%v alarms=%d", c.Stat(), c.Alarms)
+		}
+	})
+}
+
+// TestSourceAuditBoundaries covers the audit's degenerate inputs: no
+// rounds, an empty round, a single source, and perfect consensus.
+func TestSourceAuditBoundaries(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		s := NewSourceAudit()
+		s.Round(nil)
+		s.Round(map[int]float64{})
+		if bad := s.BadSources(3); bad != nil {
+			t.Errorf("empty audit flagged %v", bad)
+		}
+		if d := s.MeanDeviation(7); d != 0 {
+			t.Errorf("unknown source deviation = %v, want 0", d)
+		}
+	})
+
+	t.Run("single-source-is-its-own-consensus", func(t *testing.T) {
+		s := NewSourceAudit()
+		s.Round(map[int]float64{1: 42})
+		if d := s.MeanDeviation(1); d != 0 {
+			t.Errorf("single source deviation = %v, want 0", d)
+		}
+	})
+
+	t.Run("perfect-consensus-flags-nobody", func(t *testing.T) {
+		s := NewSourceAudit()
+		for i := 0; i < 5; i++ {
+			s.Round(map[int]float64{1: 10, 2: 10, 3: 10})
+		}
+		if bad := s.BadSources(3); len(bad) != 0 {
+			t.Errorf("perfect consensus flagged %v", bad)
+		}
+	})
+
+	t.Run("liar-flagged-worst-first", func(t *testing.T) {
+		s := NewSourceAudit()
+		for i := 0; i < 10; i++ {
+			s.Round(map[int]float64{1: 10, 2: 10.1, 3: 9.9, 4: 50, 5: 30})
+		}
+		bad := s.BadSources(3)
+		if len(bad) != 2 || bad[0] != 4 || bad[1] != 5 {
+			t.Errorf("BadSources = %v, want [4 5] (worst first)", bad)
+		}
+	})
+}

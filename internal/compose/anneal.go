@@ -103,6 +103,14 @@ func (s AnnealSolver) Solve(req Requirements, pool []Candidate) (*Composite, err
 	a := Evaluate(req, members)
 	comp := &Composite{Members: ids(members), Assurance: a}
 	if !a.Feasible {
+		// The energy function is a proxy (coverage + resources); it does
+		// not model the radio graph, latency, or risk, so the chain can
+		// drift to a lower-energy subset the full evaluation rejects.
+		// Never do worse than the warm start: keep the greedy composite
+		// when it was feasible.
+		if warm != nil && warm.Assurance.Feasible {
+			return warm, nil
+		}
 		return comp, ErrInfeasible
 	}
 	return comp, nil

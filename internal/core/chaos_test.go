@@ -1,14 +1,15 @@
-package core
+package core_test
 
 import (
-	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"iobt/internal/asset"
+	"iobt/internal/core"
 	"iobt/internal/fault"
 	"iobt/internal/geo"
+	"iobt/internal/verify"
 )
 
 // TestChaosMissionInvariants injects a randomized fault plan — jam
@@ -16,32 +17,33 @@ import (
 // the unified fault harness during a mission, and checks that the
 // runtime never panics and its metrics stay internally consistent, for
 // many random seeds — the paper's "disruptions and failures at
-// different scales" as a property test.
+// different scales" as a property test. The invariants are the shared
+// verify catalogue; the harness drives their cadence.
 func TestChaosMissionInvariants(t *testing.T) {
 	maxCount := 8
 	if testing.Short() {
 		maxCount = 2
 	}
 	prop := func(seed int64) bool {
-		w := NewWorld(WorldConfig{
+		w := core.NewWorld(core.WorldConfig{
 			Seed:    seed,
 			Terrain: geo.NewOpenTerrain(1200, 1200),
 			Assets:  250,
 			Churn:   &asset.ChurnConfig{FailRatePerMin: 0.05, ArriveRatePerMin: 5, ReviveProb: 0.5},
 		})
 		defer w.Stop()
-		m := DefaultMission(geo.NewRect(geo.Point{X: 200, Y: 200}, geo.Point{X: 1000, Y: 1000}))
+		m := core.DefaultMission(geo.NewRect(geo.Point{X: 200, Y: 200}, geo.Point{X: 1000, Y: 1000}))
 		m.Goal.CoverageFrac = 0.4
 		m.IncidentsPerMin = 40
 		if seed%2 == 0 {
-			m.Command = CommandHierarchy
+			m.Command = core.CommandHierarchy
 			m.ReliableOrders = true
 			m.CheckpointEvery = 15 * time.Second
 		}
 		if seed%4 == 0 {
 			m.Degradation = true
 		}
-		r := NewRuntime(w, m)
+		r := core.NewRuntime(w, m)
 		if err := r.Synthesize(); err != nil {
 			// Some random worlds are legitimately too sparse; that is
 			// not an invariant violation.
@@ -76,6 +78,9 @@ func TestChaosMissionInvariants(t *testing.T) {
 		}
 
 		met := &r.Metrics
+		reg := verify.NewRegistry()
+		reg.Add(verify.MissionInvariants(w, r)...)
+		reg.SetClock(w.Eng.Now)
 		h := &fault.Harness{
 			T: fault.Target{
 				Eng: w.Eng, Pop: w.Pop, Net: w.Net, Jam: w.Jam, Smoke: w.Smoke,
@@ -84,58 +89,9 @@ func TestChaosMissionInvariants(t *testing.T) {
 				CrashPost:   r.CrashPost,
 				Failover:    r.Failover,
 			},
-			Plan:    plan,
-			Goodput: func() (uint64, uint64) { return met.OnTime.Value(), met.Incidents.Value() },
-			Invariants: []fault.Invariant{
-				{Name: "message-conservation", Check: w.Net.CheckConservation},
-				{Name: "detected<=incidents", Check: func() error {
-					if met.Detected.Value() > met.Incidents.Value() {
-						return fmt.Errorf("detected %d > incidents %d", met.Detected.Value(), met.Incidents.Value())
-					}
-					return nil
-				}},
-				{Name: "ontime<=acted<=detected", Check: func() error {
-					if met.OnTime.Value() > met.Acted.Value() {
-						return fmt.Errorf("ontime %d > acted %d", met.OnTime.Value(), met.Acted.Value())
-					}
-					if met.Acted.Value() > met.Detected.Value() {
-						return fmt.Errorf("acted %d > detected %d", met.Acted.Value(), met.Detected.Value())
-					}
-					return nil
-				}},
-				{Name: "undeliverable-accounted", Check: func() error {
-					// Every terminal command failure is an audited loss:
-					// it can never exceed what was detected, and a lost
-					// incident is never also acted upon.
-					if met.Undeliverable.Value() > met.Detected.Value() {
-						return fmt.Errorf("undeliverable %d > detected %d",
-							met.Undeliverable.Value(), met.Detected.Value())
-					}
-					if met.Acted.Value()+met.Undeliverable.Value() > met.Detected.Value() {
-						return fmt.Errorf("acted %d + undeliverable %d > detected %d",
-							met.Acted.Value(), met.Undeliverable.Value(), met.Detected.Value())
-					}
-					return nil
-				}},
-				{Name: "latency-samples", Check: func() error {
-					if met.DecisionLatency.N() != int(met.Acted.Value()) {
-						return fmt.Errorf("latency n %d != acted %d", met.DecisionLatency.N(), met.Acted.Value())
-					}
-					return nil
-				}},
-				{Name: "success-bounded", Check: func() error {
-					if s := met.SuccessRate(); s < 0 || s > 1 {
-						return fmt.Errorf("success rate %v out of [0,1]", s)
-					}
-					return nil
-				}},
-				{Name: "health-valid", Check: func() error {
-					if h := r.Health(); h != Healthy && h != Degraded && h != Critical {
-						return fmt.Errorf("invalid health state %v", h)
-					}
-					return nil
-				}},
-			},
+			Plan:       plan,
+			Goodput:    func() (uint64, uint64) { return met.OnTime.Value(), met.Incidents.Value() },
+			Invariants: reg.FaultInvariants(),
 		}
 		rep, err := h.Run(3 * time.Minute)
 		if err != nil {
@@ -157,15 +113,15 @@ func TestChaosMissionInvariants(t *testing.T) {
 // must be fully deterministic per seed.
 func TestChaosDeterminism(t *testing.T) {
 	run := func() (uint64, uint64, uint64, uint64, uint64) {
-		w := NewWorld(WorldConfig{Seed: 7, Terrain: geo.NewOpenTerrain(1200, 1200), Assets: 250})
+		w := core.NewWorld(core.WorldConfig{Seed: 7, Terrain: geo.NewOpenTerrain(1200, 1200), Assets: 250})
 		defer w.Stop()
-		m := DefaultMission(geo.NewRect(geo.Point{X: 200, Y: 200}, geo.Point{X: 1000, Y: 1000}))
+		m := core.DefaultMission(geo.NewRect(geo.Point{X: 200, Y: 200}, geo.Point{X: 1000, Y: 1000}))
 		m.Goal.CoverageFrac = 0.4
-		m.Command = CommandHierarchy
+		m.Command = core.CommandHierarchy
 		m.ReliableOrders = true
 		m.Degradation = true
 		m.IncidentsPerMin = 30
-		r := NewRuntime(w, m)
+		r := core.NewRuntime(w, m)
 		if err := r.Synthesize(); err != nil {
 			t.Skip("sparse world")
 		}

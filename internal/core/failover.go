@@ -238,7 +238,12 @@ func (r *Runtime) Restore(data []byte) error {
 	r.relaxSteps = relaxSteps
 	r.fellBack = fellBack
 	r.orderFails = orderFails
-	r.nextIncID = nextIncID
+	// Incident identity is mission-global, like the metrics: rolling the
+	// counter back to the checkpoint would hand post-restore incidents
+	// IDs already marked resolved, silently dropping their completions.
+	if nextIncID > r.nextIncID {
+		r.nextIncID = nextIncID
+	}
 	r.health = health
 	return nil
 }

@@ -1,4 +1,4 @@
-package core
+package core_test
 
 import (
 	"testing"
@@ -6,25 +6,27 @@ import (
 
 	"iobt/internal/asset"
 	"iobt/internal/checkpoint"
+	"iobt/internal/core"
 	"iobt/internal/fault"
 	"iobt/internal/geo"
 	"iobt/internal/track"
+	"iobt/internal/verify"
 )
 
 // failoverMission builds a hierarchy+ARQ mission with checkpoints and a
 // deterministic track scenario, runs it under a crash(+failover) plan,
 // and returns the runtime, report, and world.
-func runFailover(t *testing.T, seed int64, every time.Duration, plan *fault.Plan, journal *checkpoint.Journal) (*Runtime, *fault.Report, *World) {
+func runFailover(t *testing.T, seed int64, every time.Duration, plan *fault.Plan, journal *checkpoint.Journal) (*core.Runtime, *fault.Report, *core.World) {
 	t.Helper()
-	w := NewWorld(WorldConfig{Seed: seed, Terrain: geo.NewOpenTerrain(1200, 1200), Assets: 250})
-	m := DefaultMission(geo.NewRect(geo.Point{X: 200, Y: 200}, geo.Point{X: 1000, Y: 1000}))
+	w := core.NewWorld(core.WorldConfig{Seed: seed, Terrain: geo.NewOpenTerrain(1200, 1200), Assets: 250})
+	m := core.DefaultMission(geo.NewRect(geo.Point{X: 200, Y: 200}, geo.Point{X: 1000, Y: 1000}))
 	m.Goal.CoverageFrac = 0.4
-	m.Command = CommandHierarchy
+	m.Command = core.CommandHierarchy
 	m.ReliableOrders = true
 	m.IncidentsPerMin = 30
 	m.CheckpointEvery = every
 	m.TrustAudit = true
-	r := NewRuntime(w, m)
+	r := core.NewRuntime(w, m)
 	r.SetJournal(journal)
 
 	// A deterministic target picture fused at the post: three crossing
@@ -46,6 +48,9 @@ func runFailover(t *testing.T, seed int64, every time.Duration, plan *fault.Plan
 	if err := r.Start(); err != nil {
 		t.Fatal(err)
 	}
+	reg := verify.NewRegistry()
+	reg.Add(verify.MissionInvariants(w, r)...)
+	reg.SetClock(w.Eng.Now)
 	h := &fault.Harness{
 		T: fault.Target{
 			Eng: w.Eng, Pop: w.Pop, Net: w.Net, Jam: w.Jam, Smoke: w.Smoke,
@@ -58,10 +63,8 @@ func runFailover(t *testing.T, seed int64, every time.Duration, plan *fault.Plan
 		Goodput: func() (uint64, uint64) {
 			return r.Metrics.OnTime.Value(), r.Metrics.Incidents.Value()
 		},
-		Invariants: []fault.Invariant{
-			{Name: "message-conservation", Check: w.Net.CheckConservation},
-		},
-		Recovery: fault.RecoveryHooks(r.Probe()),
+		Invariants: reg.FaultInvariants(),
+		Recovery:   fault.RecoveryHooks(r.Probe()),
 	}
 	rep, err := h.Run(4 * time.Minute)
 	if err != nil {

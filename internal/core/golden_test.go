@@ -1,4 +1,4 @@
-package core
+package core_test
 
 import (
 	"testing"
@@ -6,24 +6,27 @@ import (
 
 	"iobt/internal/asset"
 	"iobt/internal/checkpoint"
+	"iobt/internal/core"
 	"iobt/internal/fault"
 	"iobt/internal/geo"
+	"iobt/internal/verify"
 )
 
 // runStandard runs the reference mission (hierarchy + ARQ, degradation
-// reflexes on) under the standard fault plan and returns the runtime.
-func runStandard(t *testing.T, seed int64, journal *checkpoint.Journal) *Runtime {
+// reflexes on) under the standard fault plan with the shared verify
+// catalogue armed, and returns the runtime.
+func runStandard(t *testing.T, seed int64, journal *checkpoint.Journal) *core.Runtime {
 	t.Helper()
-	w := NewWorld(WorldConfig{Seed: seed, Terrain: geo.NewOpenTerrain(1200, 1200), Assets: 250})
+	w := core.NewWorld(core.WorldConfig{Seed: seed, Terrain: geo.NewOpenTerrain(1200, 1200), Assets: 250})
 	defer w.Stop()
-	m := DefaultMission(geo.NewRect(geo.Point{X: 200, Y: 200}, geo.Point{X: 1000, Y: 1000}))
+	m := core.DefaultMission(geo.NewRect(geo.Point{X: 200, Y: 200}, geo.Point{X: 1000, Y: 1000}))
 	m.Goal.CoverageFrac = 0.4
-	m.Command = CommandHierarchy
+	m.Command = core.CommandHierarchy
 	m.ReliableOrders = true
 	m.Degradation = true
 	m.IncidentsPerMin = 30
 	m.CheckpointEvery = 15 * time.Second
-	r := NewRuntime(w, m)
+	r := core.NewRuntime(w, m)
 	r.SetJournal(journal)
 	if err := r.Synthesize(); err != nil {
 		t.Skip("sparse world")
@@ -32,6 +35,9 @@ func runStandard(t *testing.T, seed int64, journal *checkpoint.Journal) *Runtime
 		t.Fatal(err)
 	}
 	defer r.Stop()
+	reg := verify.NewRegistry()
+	reg.Add(verify.MissionInvariants(w, r)...)
+	reg.SetClock(w.Eng.Now)
 	h := &fault.Harness{
 		T: fault.Target{
 			Eng: w.Eng, Pop: w.Pop, Net: w.Net, Jam: w.Jam, Smoke: w.Smoke,
@@ -42,9 +48,7 @@ func runStandard(t *testing.T, seed int64, journal *checkpoint.Journal) *Runtime
 		Goodput: func() (uint64, uint64) {
 			return r.Metrics.OnTime.Value(), r.Metrics.Incidents.Value()
 		},
-		Invariants: []fault.Invariant{
-			{Name: "message-conservation", Check: w.Net.CheckConservation},
-		},
+		Invariants: reg.FaultInvariants(),
 	}
 	rep, err := h.Run(3 * time.Minute)
 	if err != nil {

@@ -86,6 +86,7 @@ type Runtime struct {
 	gen        *sim.Ticker
 	healthMon  *adapt.Monitor
 	nextIncID  int
+	resolved   map[int]bool // incidents terminally resolved (acted or undeliverable)
 	rel        *mesh.Reliable
 	started    bool
 	registered map[asset.ID]bool
@@ -113,6 +114,7 @@ func NewRuntime(w *World, m Mission) *Runtime {
 		rng:        w.Eng.Stream("runtime"),
 		members:    make(map[asset.ID]bool),
 		registered: make(map[asset.ID]bool),
+		resolved:   make(map[int]bool),
 		health:     Healthy,
 	}
 }
@@ -321,6 +323,15 @@ func (r *Runtime) incident() {
 
 	incID := r.nextIncID
 	complete := func() {
+		// An incident resolves exactly once. A duplicate order — the ARQ
+		// window requeued by a warm failover re-delivers traffic that
+		// already executed, or a delayed order lands after the incident
+		// was declared undeliverable — must not be executed again.
+		if r.resolved[incID] {
+			r.journalf("order id=%d duplicate ignored", incID)
+			return
+		}
+		r.resolved[incID] = true
 		now := r.W.Eng.Now()
 		r.Metrics.Acted.Inc()
 		r.Metrics.DecisionLatency.AddDuration(now - detectedAt)
@@ -344,7 +355,21 @@ func (r *Runtime) incident() {
 		// Subordinate initiative: deliberate locally, act.
 		r.W.Eng.Schedule(r.Mission.LocalDeliberation, "core.intent-act", complete)
 	default:
-		r.hierarchyLoop(detector, complete)
+		r.hierarchyLoop(detector, incID, complete)
+	}
+}
+
+// failIncident returns the terminal-failure callback for one incident.
+// Like complete, it resolves the incident at most once: a late ARQ
+// exhaustion after the order already executed (or a second failure for
+// traffic requeued across a failover) is not a new command failure.
+func (r *Runtime) failIncident(incID int) func() {
+	return func() {
+		if r.resolved[incID] {
+			return
+		}
+		r.resolved[incID] = true
+		r.commandFailed()
 	}
 }
 
@@ -352,26 +377,27 @@ func (r *Runtime) incident() {
 // approval, and routes the order back. Terminal delivery failures are
 // counted (Metrics.Undeliverable) and feed the command-continuity
 // reflex.
-func (r *Runtime) hierarchyLoop(detector asset.ID, complete func()) {
+func (r *Runtime) hierarchyLoop(detector asset.ID, incID int, complete func()) {
+	fail := r.failIncident(incID)
 	if r.sink == asset.None || !r.sinkAlive() {
 		r.repickSink()
 	}
 	sink := r.sink
 	if sink == asset.None {
-		r.commandFailed()
+		fail()
 		return
 	}
 	msg := mesh.Message{
 		From: detector, To: sink, Size: 2000, Kind: "report",
-		Payload: reportPayload{incID: r.nextIncID, detector: detector, complete: complete},
+		Payload: reportPayload{incID: incID, detector: detector, complete: complete},
 	}
 	if r.rel != nil {
-		r.rel.Send(msg, r.commandCarried, r.commandFailed)
+		r.rel.Send(msg, r.commandCarried, fail)
 		return
 	}
 	if err := r.W.Net.Send(msg); err != nil {
 		// Command post unreachable: the hierarchy cannot authorize.
-		r.commandFailed()
+		fail()
 	}
 }
 
@@ -437,12 +463,13 @@ func (r *Runtime) commandHandler(id asset.ID) mesh.Handler {
 					From: id, To: p.detector, Size: 500, Kind: "order",
 					Payload: orderPayload{incID: p.incID, complete: p.complete},
 				}
+				fail := r.failIncident(p.incID)
 				if r.rel != nil {
-					r.rel.Send(order, r.commandCarried, r.commandFailed)
+					r.rel.Send(order, r.commandCarried, fail)
 					return
 				}
 				if err := r.W.Net.Send(order); err != nil {
-					r.commandFailed()
+					fail()
 				}
 			})
 		case "order":

@@ -7,6 +7,7 @@ import (
 	"iobt/internal/core"
 	"iobt/internal/fault"
 	"iobt/internal/geo"
+	"iobt/internal/verify"
 )
 
 // E14Recovery measures recovery from the standard composite disruption
@@ -37,6 +38,7 @@ func E14Recovery(seed int64, quick bool) *Table {
 		intensities = []float64{0.5, 1.0}
 	}
 
+	var verif verify.Summary
 	run := func(scale float64, degrade bool) (*fault.Report, float64) {
 		w := core.NewWorld(core.WorldConfig{
 			Seed:    seed,
@@ -59,6 +61,9 @@ func E14Recovery(seed int64, quick bool) *Table {
 			return nil, 0
 		}
 		defer r.Stop()
+		reg := verify.NewRegistry()
+		reg.Add(verify.MissionInvariants(w, r)...)
+		reg.SetClock(w.Eng.Now)
 		h := &fault.Harness{
 			T: fault.Target{
 				Eng: w.Eng, Pop: w.Pop, Net: w.Net, Jam: w.Jam, Smoke: w.Smoke,
@@ -69,8 +74,10 @@ func E14Recovery(seed int64, quick bool) *Table {
 			Goodput: func() (uint64, uint64) {
 				return r.Metrics.OnTime.Value(), r.Metrics.Incidents.Value()
 			},
+			Invariants: reg.FaultInvariants(),
 		}
 		rep, err := h.Run(horizon)
+		verif.Merge(reg.Summarize())
 		if err != nil {
 			return nil, 0
 		}
@@ -118,5 +125,6 @@ func E14Recovery(seed int64, quick bool) *Table {
 		t.AddRow(f2(s), detectS, recoverS, degS,
 			f2(withReflex), f2(without), ratio, d(int(rep.Killed)))
 	}
+	t.Verification = &verif
 	return t
 }

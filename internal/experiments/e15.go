@@ -8,6 +8,7 @@ import (
 	"iobt/internal/fault"
 	"iobt/internal/geo"
 	"iobt/internal/track"
+	"iobt/internal/verify"
 )
 
 // E15Failover measures command-post survivability: the recovery gap
@@ -41,6 +42,7 @@ func E15Failover(seed int64, quick bool) *Table {
 		ckpts   uint64
 		success float64
 		ok      bool
+		verif   verify.Summary
 	}
 
 	run := func(mode string, every time.Duration) outcome {
@@ -86,6 +88,9 @@ func E15Failover(seed int64, quick bool) *Table {
 			plan.Add(fault.Fault{Kind: fault.Failover,
 				At: 119*time.Second + 500*time.Millisecond, Warm: mode == "warm"})
 		}
+		reg := verify.NewRegistry()
+		reg.Add(verify.MissionInvariants(w, r)...)
+		reg.SetClock(w.Eng.Now)
 		h := &fault.Harness{
 			T: fault.Target{
 				Eng: w.Eng, Pop: w.Pop, Net: w.Net, Jam: w.Jam, Smoke: w.Smoke,
@@ -98,10 +103,8 @@ func E15Failover(seed int64, quick bool) *Table {
 			Goodput: func() (uint64, uint64) {
 				return r.Metrics.OnTime.Value(), r.Metrics.Incidents.Value()
 			},
-			Invariants: []fault.Invariant{
-				{Name: "message-conservation", Check: w.Net.CheckConservation},
-			},
-			Recovery: fault.RecoveryHooks(r.Probe()),
+			Invariants: reg.FaultInvariants(),
+			Recovery:   fault.RecoveryHooks(r.Probe()),
 		}
 		rep, err := h.Run(horizon)
 		if err != nil || !rep.OK() || len(rep.Recovery) != 1 {
@@ -111,10 +114,14 @@ func E15Failover(seed int64, quick bool) *Table {
 		if c := r.Checkpoints(); c != nil {
 			ckpts = c.Taken.Value()
 		}
-		return outcome{gap: rep.Recovery[0], ckpts: ckpts, success: r.Metrics.SuccessRate(), ok: true}
+		return outcome{gap: rep.Recovery[0], ckpts: ckpts, success: r.Metrics.SuccessRate(), ok: true,
+			verif: reg.Summarize()}
 	}
 
+	var verif verify.Summary
+
 	row := func(mode string, every time.Duration, o outcome) {
+		verif.Merge(o.verif)
 		if !o.ok {
 			t.AddRow(mode, every.String(), "run failed", "", "", "", "", "")
 			return
@@ -139,5 +146,6 @@ func E15Failover(seed int64, quick bool) *Table {
 	for _, every := range intervals {
 		row("warm", every, run("warm", every))
 	}
+	t.Verification = &verif
 	return t
 }

@@ -11,6 +11,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"iobt/internal/verify"
 )
 
 // Table is one experiment's result table.
@@ -21,6 +23,11 @@ type Table struct {
 	Rows   [][]string
 	// Notes carries the expected-shape statement from DESIGN.md §5.
 	Notes string
+	// Verification records the invariant coverage of the runs that
+	// produced the table (nil when the experiment armed none), so the
+	// committed BENCH_<ID>.json documents how much checking backed the
+	// numbers.
+	Verification *verify.Summary
 }
 
 // AddRow appends a formatted row.
@@ -60,12 +67,13 @@ func writeCSVRow(b *strings.Builder, cells []string) {
 // diffed and plotted without re-parsing aligned text.
 func (t *Table) JSON() string {
 	doc := struct {
-		ID     string     `json:"id"`
-		Title  string     `json:"title"`
-		Header []string   `json:"header"`
-		Rows   [][]string `json:"rows"`
-		Notes  string     `json:"notes,omitempty"`
-	}{t.ID, t.Title, t.Header, t.Rows, t.Notes}
+		ID           string          `json:"id"`
+		Title        string          `json:"title"`
+		Header       []string        `json:"header"`
+		Rows         [][]string      `json:"rows"`
+		Notes        string          `json:"notes,omitempty"`
+		Verification *verify.Summary `json:"verification,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes, t.Verification}
 	b, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		// A table of strings cannot fail to marshal; keep the signature
@@ -112,6 +120,9 @@ func (t *Table) String() string {
 	}
 	if t.Notes != "" {
 		fmt.Fprintf(&b, "shape: %s\n", t.Notes)
+	}
+	if t.Verification != nil {
+		fmt.Fprintf(&b, "%s\n", t.Verification)
 	}
 	return b.String()
 }

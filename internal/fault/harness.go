@@ -80,7 +80,7 @@ type Report struct {
 	// Baseline is the mean goodput before the first fault onset.
 	Baseline float64
 	// Final is the mean goodput over the last Window samples.
-	Final float64
+	Final  float64
 	Faults []FaultReport
 	// Recovery holds one gap measurement per `crash post` fault (empty
 	// when the plan has none or no Recovery hooks were set).

@@ -1,0 +1,147 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"iobt/internal/core"
+	"iobt/internal/fault"
+	"iobt/internal/geo"
+)
+
+// TestScenarioFuzz is the quick fuzz pass wired into the ordinary test
+// run: it derives random missions from sequential seeds and runs each
+// with the full invariant catalogue armed. Any violation is shrunk to a
+// minimal reproducer and reported as a replayable scenario file.
+func TestScenarioFuzz(t *testing.T) {
+	n := 60
+	if !testing.Short() {
+		n = 120
+	}
+	ran, skipped := 0, 0
+	for seed := int64(1); ran < n; seed++ {
+		s := Generate(seed)
+		out := Run(s)
+		if out.Skipped {
+			skipped++
+			if skipped > n {
+				t.Fatalf("too many unsynthesizable scenarios (%d skipped)", skipped)
+			}
+			continue
+		}
+		ran++
+		if len(out.Violations) > 0 {
+			reportViolation(t, s, out)
+		}
+	}
+	t.Logf("fuzzed %d scenarios (%d skipped as unsynthesizable)", ran, skipped)
+}
+
+// FuzzScenario is the native fuzz target: the nightly CI job mutates
+// seeds far beyond the sequential range the quick pass covers.
+func FuzzScenario(f *testing.F) {
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		s := Generate(seed)
+		out := Run(s)
+		if out.Skipped {
+			t.Skip("unsynthesizable scenario")
+		}
+		if len(out.Violations) > 0 {
+			reportViolation(t, s, out)
+		}
+	})
+}
+
+// reportViolation shrinks a failing scenario and fails the test with
+// the minimal replayable reproducer.
+func reportViolation(t *testing.T, s Scenario, out *Outcome) {
+	t.Helper()
+	name := out.Violations[0].Name
+	min := Shrink(s, func(c Scenario) bool {
+		o := Run(c)
+		if o.Skipped {
+			return false
+		}
+		for _, v := range o.Violations {
+			if v.Name == name {
+				return true
+			}
+		}
+		return false
+	}, 60)
+	t.Fatalf("invariant violated: %v\nsummary: %s\nminimal reproducer (cost %d, was %d):\n%s",
+		out.Violations[0], out.Summary, min.Cost(), s.Cost(), min.String())
+}
+
+// TestShrinkFindsMinimalReproducer arms a deliberately broken invariant
+// (it fails whenever the success rate is within its legal range, i.e.
+// always) against a deliberately big scenario, and checks the shrinker
+// reduces the reproducer to at most 25% of the original cost.
+func TestShrinkFindsMinimalReproducer(t *testing.T) {
+	flipped := func(w *core.World, r *core.Runtime) Invariant {
+		return Invariant{Name: "flipped-success-bound", Check: func() error {
+			if s := r.Metrics.SuccessRate(); s >= 0 && s <= 1 {
+				return fmt.Errorf("deliberately flipped check: success rate %v is in [0,1]", s)
+			}
+			return nil
+		}}
+	}
+
+	plan := &fault.Plan{Name: "shrink-big"}
+	plan.Add(fault.Fault{Kind: fault.JamWave, At: 20 * time.Second, Duration: 30 * time.Second,
+		Area: geo.Circle{Center: geo.Point{X: 700, Y: 700}, Radius: 400}, Intensity: 0.8})
+	plan.Add(fault.Fault{Kind: fault.Smoke, At: 40 * time.Second, Duration: 30 * time.Second,
+		Area: geo.Circle{Center: geo.Point{X: 400, Y: 400}, Radius: 300}})
+	plan.Add(fault.Fault{Kind: fault.KillWave, At: 60 * time.Second, Fraction: 0.2,
+		Select: fault.SelectComposite})
+	plan.Add(fault.Fault{Kind: fault.Corrupt, At: 80 * time.Second, Duration: 30 * time.Second, Prob: 0.2})
+	plan.Add(fault.Fault{Kind: fault.ChurnSpike, At: 100 * time.Second, Duration: 30 * time.Second, Rate: 0.1})
+	big := Scenario{
+		Seed: 99, Assets: 250, Size: 1400, Terrain: "urban",
+		Command: "hierarchy", Reliable: true, Degrade: true, Track: true,
+		Checkpoint: 15 * time.Second, Rate: 20, Horizon: 180 * time.Second,
+		Plan: plan,
+	}
+
+	out := Run(big, flipped)
+	if out.Skipped {
+		t.Fatal("big scenario unexpectedly unsynthesizable")
+	}
+	if len(out.Violations) == 0 {
+		t.Fatal("flipped invariant was not caught")
+	}
+
+	fails := func(c Scenario) bool {
+		o := Run(c, flipped)
+		if o.Skipped {
+			return false
+		}
+		for _, v := range o.Violations {
+			if v.Name == "flipped-success-bound" {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(big, fails, 60)
+
+	if got, orig := min.Cost(), big.Cost(); got*4 > orig {
+		t.Fatalf("shrunk reproducer cost %d > 25%% of original %d", got, orig)
+	}
+	if !fails(min) {
+		t.Fatal("shrunk scenario no longer reproduces the violation")
+	}
+	// The reproducer must round-trip through its file form.
+	parsed, err := ParseScenario(min.String())
+	if err != nil {
+		t.Fatalf("reproducer does not parse: %v", err)
+	}
+	if parsed.String() != min.String() {
+		t.Fatalf("reproducer round-trip mismatch:\n%s\nvs\n%s", min.String(), parsed.String())
+	}
+	t.Logf("shrunk cost %d -> %d:\n%s", big.Cost(), min.Cost(), min.String())
+}

@@ -1,0 +1,57 @@
+package verify
+
+import "testing"
+
+func TestPermutationInvariance(t *testing.T) {
+	n := 30
+	if !testing.Short() {
+		n = 80
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		if err := PermutationInvariance(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestComposersAgree(t *testing.T) {
+	n := 20
+	if !testing.Short() {
+		n = 60
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		if err := ComposersAgree(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCadenceIndependence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		if err := CadenceIndependence(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRestoreTransparency(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		if err := RestoreTransparency(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReplayEquivalence(t *testing.T) {
+	checked := 0
+	for seed := int64(1); checked < 3; seed++ {
+		s := Generate(seed)
+		if Run(s).Skipped {
+			continue
+		}
+		checked++
+		if err := ReplayEquivalence(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
