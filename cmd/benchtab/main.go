@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"iobt/internal/experiments"
+	"iobt/internal/lint"
 )
 
 func main() {
@@ -43,7 +44,21 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	// JSON output embeds the iobtlint coverage of the tree that produced
+	// the numbers, so committed BENCH_*.json records static checking
+	// alongside invariant checking. Failure to lint (e.g. running the
+	// binary outside the module) degrades to numbers-only output.
+	var static *lint.Coverage
+	if *format == "json" {
+		if diags, err := lint.Run("", "./..."); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab: static coverage unavailable:", err)
+		} else {
+			cov := lint.Summarize(diags)
+			static = &cov
+		}
+	}
 	render := func(t *experiments.Table) string {
+		t.Static = static
 		switch *format {
 		case "csv":
 			return t.CSV()

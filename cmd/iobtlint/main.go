@@ -1,0 +1,100 @@
+// Command iobtlint runs the repo's custom determinism and snapshot
+// analyzers (internal/lint) over the given packages:
+//
+//	go run ./cmd/iobtlint ./...
+//	go run ./cmd/iobtlint -list
+//	go run ./cmd/iobtlint -only detrand,maporder ./...
+//	go run ./cmd/iobtlint -json ./... > findings.json
+//
+// Exit status: 0 when the tree is clean (suppressed findings with a
+// reasoned //iobt:allow comment do not count), 1 when there are active
+// findings, 2 on usage or load errors. -show-allowed prints the
+// suppressed findings too, as an audit trail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iobt/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("iobtlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list        = fs.Bool("list", false, "list analyzers and exit")
+		only        = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut     = fs.Bool("json", false, "emit findings as JSON")
+		showAllowed = fs.Bool("show-allowed", false, "also print findings waived by //iobt:allow")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "iobtlint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.RunAnalyzers("", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "iobtlint: %v\n", err)
+		return 2
+	}
+	active := lint.Active(diags)
+	shown := active
+	if *showAllowed {
+		shown = diags
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		out := struct {
+			Coverage lint.Coverage     `json:"coverage"`
+			Findings []lint.Diagnostic `json:"findings"`
+		}{lint.Summarize(diags), shown}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "iobtlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range shown {
+			fmt.Fprintln(stdout, d)
+		}
+		cov := lint.Summarize(diags)
+		fmt.Fprintf(stdout, "iobtlint: %d analyzers, %d findings, %d allowed\n",
+			cov.Analyzers, cov.Findings, cov.Allowed)
+	}
+	if len(active) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLiveMembersSorted locks in the iobtlint maporder fix: the
+// candidate list liveMembers materializes from the members map feeds
+// the composition solvers, whose tie-breaking follows slice order, so
+// it must come out in ascending ID order regardless of map iteration
+// order.
+func TestLiveMembersSorted(t *testing.T) {
+	w := testWorld(t, 11)
+	defer w.Stop()
+	r := NewRuntime(w, testMission(CommandIntent))
+	if err := r.Synthesize(); err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer r.Stop()
+	if err := w.Run(2 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		ms := r.liveMembers()
+		if len(ms) == 0 {
+			t.Fatal("no live members")
+		}
+		for i := 1; i < len(ms); i++ {
+			if ms[i-1].ID >= ms[i].ID {
+				t.Fatalf("liveMembers not in ascending ID order: %v >= %v at %d",
+					ms[i-1].ID, ms[i].ID, i)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"iobt/internal/adapt"
@@ -286,10 +287,17 @@ func (r *Runtime) relaxOnce() bool {
 }
 
 // liveMembers materializes current member candidates with live
-// positions.
+// positions, in ascending ID order: the list feeds the composition
+// solvers, whose tie-breaking follows slice order, so map iteration
+// order must not leak into it.
 func (r *Runtime) liveMembers() []compose.Candidate {
-	var out []compose.Candidate
+	ids := make([]asset.ID, 0, len(r.members))
 	for id := range r.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []compose.Candidate
+	for _, id := range ids {
 		a := r.W.Pop.Get(id)
 		if a == nil || !a.Alive() {
 			continue

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 
+	"iobt/internal/lint"
 	"iobt/internal/verify"
 )
 
@@ -28,6 +29,11 @@ type Table struct {
 	// committed BENCH_<ID>.json documents how much checking backed the
 	// numbers.
 	Verification *verify.Summary
+	// Static records the iobtlint suite's coverage of the tree that
+	// produced the numbers (analyzer count, unsuppressed findings —
+	// zero at head — and reasoned waivers). cmd/benchtab attaches it
+	// for JSON output; nil elsewhere.
+	Static *lint.Coverage
 }
 
 // AddRow appends a formatted row.
@@ -66,14 +72,24 @@ func writeCSVRow(b *strings.Builder, cells []string) {
 // machine-readable form committed as BENCH_<ID>.json so runs can be
 // diffed and plotted without re-parsing aligned text.
 func (t *Table) JSON() string {
+	// The verification block carries both dynamic coverage (armed
+	// invariants) and static coverage (the iobtlint suite) when present.
+	type verification struct {
+		*verify.Summary
+		Static *lint.Coverage `json:"static,omitempty"`
+	}
+	var ver *verification
+	if t.Verification != nil || t.Static != nil {
+		ver = &verification{Summary: t.Verification, Static: t.Static}
+	}
 	doc := struct {
-		ID           string          `json:"id"`
-		Title        string          `json:"title"`
-		Header       []string        `json:"header"`
-		Rows         [][]string      `json:"rows"`
-		Notes        string          `json:"notes,omitempty"`
-		Verification *verify.Summary `json:"verification,omitempty"`
-	}{t.ID, t.Title, t.Header, t.Rows, t.Notes, t.Verification}
+		ID           string        `json:"id"`
+		Title        string        `json:"title"`
+		Header       []string      `json:"header"`
+		Rows         [][]string    `json:"rows"`
+		Notes        string        `json:"notes,omitempty"`
+		Verification *verification `json:"verification,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes, ver}
 	b, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		// A table of strings cannot fail to marshal; keep the signature

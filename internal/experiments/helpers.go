@@ -12,6 +12,7 @@ import (
 // measure solver cost on the host machine (never inside the simulated
 // world, which runs on virtual time).
 func nowMS() float64 {
+	//iobt:allow detrand measures host solver cost for experiment tables; never read inside the simulated world
 	return float64(time.Now().UnixNano()) / 1e6
 }
 

@@ -1,0 +1,119 @@
+package lint
+
+// A minimal analysistest in the style of
+// golang.org/x/tools/go/analysis/analysistest (which the offline build
+// cannot depend on): fixture packages live under testdata/src/<name>,
+// and expected findings are declared inline with trailing
+//
+//	// want `regex`
+//
+// comments. Every unsuppressed finding must be matched by a want
+// directive on its line, and every want directive must be matched by a
+// finding. Findings suppressed by a reasoned iobt:allow comment are
+// the fixtures' "allowed" cases; tests assert their count separately.
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var (
+	wantRe    = regexp.MustCompile(`// want (.+)$`)
+	wantArgRe = regexp.MustCompile("`([^`]*)`")
+)
+
+// runFixture loads testdata/src/<dir>, applies the analyzers, checks
+// the findings against the fixture's want directives, and returns all
+// findings (including suppressed) for extra assertions.
+func runFixture(t *testing.T, dir string, as ...*Analyzer) []Diagnostic {
+	t.Helper()
+	pkg, err := LoadFixture(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analyze(pkg, as)
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[wantKey][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: want directive has no backquoted regexp", pkg.Fset.Position(c.Pos()))
+				}
+				for _, a := range args {
+					re, err := regexp.Compile(a[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", a[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := wantKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		k := wantKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+	return diags
+}
+
+// countSuppressed returns the number of findings waived by iobt:allow.
+func countSuppressed(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			n++
+		}
+	}
+	return n
+}
+
+// requireSuppressed asserts the fixture demonstrated n allowed cases.
+func requireSuppressed(t *testing.T, diags []Diagnostic, n int) {
+	t.Helper()
+	if got := countSuppressed(diags); got != n {
+		var lines string
+		for _, d := range diags {
+			lines += fmt.Sprintf("  %s\n", d)
+		}
+		t.Errorf("suppressed findings = %d, want %d; all findings:\n%s", got, n, lines)
+	}
+}

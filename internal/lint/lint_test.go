@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDetRandFixture(t *testing.T) {
+	diags := runFixture(t, "detrand", DetRand)
+	requireSuppressed(t, diags, 1)
+}
+
+// TestDetRandExemptPaths verifies the allowlist: the same fixture
+// re-badged as internal/sim, cmd, or examples code produces nothing.
+func TestDetRandExemptPaths(t *testing.T) {
+	pkg, err := LoadFixture("testdata/src/detrand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"iobt/internal/sim", "iobt/cmd/iobtsim", "iobt/examples/quickstart"} {
+		pkg.Path = path
+		if diags := analyze(pkg, []*Analyzer{DetRand}); len(Active(diags)) != 0 {
+			t.Errorf("path %s: want no findings, got %v", path, Active(diags))
+		}
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	diags := runFixture(t, "maporder", MapOrder)
+	requireSuppressed(t, diags, 1)
+}
+
+func TestSnapshotPairFixture(t *testing.T) {
+	diags := runFixture(t, "snapshotpair", SnapshotPair)
+	requireSuppressed(t, diags, 1)
+}
+
+func TestMetricRegFixture(t *testing.T) {
+	diags := runFixture(t, "metricreg", MetricReg)
+	requireSuppressed(t, diags, 1)
+}
+
+// TestSuppressFixture runs the full suite so the allow-comment
+// machinery itself is exercised: missing reasons and unknown analyzer
+// names are findings, and the one reasoned allow suppresses.
+func TestSuppressFixture(t *testing.T) {
+	diags := runFixture(t, "suppress", Analyzers()...)
+	requireSuppressed(t, diags, 1)
+}
+
+// TestTreeClean is the acceptance criterion in test form: the full
+// analyzer suite over the whole repository reports zero active
+// findings — every waiver carries a reason.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree lint skipped in -short (CI runs iobtlint directly)")
+	}
+	diags, err := Run("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active := Active(diags); len(active) != 0 {
+		var b strings.Builder
+		for _, d := range active {
+			b.WriteString("  " + d.String() + "\n")
+		}
+		t.Errorf("iobtlint findings on the tree:\n%s", b.String())
+	}
+	cov := Summarize(diags)
+	if cov.Analyzers != 4 {
+		t.Errorf("analyzer count = %d, want 4", cov.Analyzers)
+	}
+	if cov.Allowed == 0 {
+		t.Error("expected at least one reasoned iobt:allow on the tree")
+	}
+}
+
+// TestCoverageSummary checks the benchtab-facing summary arithmetic.
+func TestCoverageSummary(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "detrand", Message: "a"},
+		{Analyzer: "maporder", Message: "b", Suppressed: true, Reason: "r"},
+	}
+	cov := Summarize(diags)
+	if cov.Analyzers != 4 || cov.Findings != 1 || cov.Allowed != 1 {
+		t.Errorf("coverage = %+v", cov)
+	}
+	if len(Active(diags)) != 1 {
+		t.Errorf("active = %d, want 1", len(Active(diags)))
+	}
+}

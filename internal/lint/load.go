@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked unit ready for analysis.
+type Package struct {
+	// Path is the base import path ("iobt/internal/mesh"), with any
+	// test-variant bracket suffix stripped.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	ForTest    string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load locates the packages matching patterns with the go tool,
+// parses them, and type-checks them against the compiler's export
+// data. Test files are folded in: when `go list -test` offers a
+// test-augmented variant of a package, the variant replaces the base
+// package, so _test.go files are held to the same rules as the code
+// they exercise.
+//
+// dir is the working directory for the go tool ("" = current); it must
+// be inside the module under analysis.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, exports, err := list(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, lp := range pkgs {
+		files, err := parseFiles(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{
+			Importer: &exportImporter{fset: fset, exports: exports, importMap: lp.ImportMap},
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		base := basePath(lp.ImportPath)
+		tpkg, err := conf.Check(base, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", base, err)
+		}
+		out = append(out, &Package{Path: base, Fset: fset, Files: files, Types: tpkg, Info: info})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// list runs `go list -test -deps -export -json` and selects the
+// packages to analyze plus the export data of everything importable.
+func list(dir string, patterns []string) ([]listPackage, map[string]string, error) {
+	args := append([]string{
+		"list", "-e", "-test", "-deps", "-export",
+		"-json=ImportPath,ForTest,Name,Dir,Export,GoFiles,Standard,ImportMap,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	// variants maps a base import path to its selected listPackage; a
+	// test-augmented variant wins over the plain package.
+	variants := map[string]listPackage{}
+	var order []string
+	dec := json.NewDecoder(bytes.NewReader(outBytes))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.Standard || lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if strings.HasSuffix(lp.ImportPath, ".test") && lp.ForTest == "" {
+			continue // synthesized test main package
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("lint: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		base := basePath(lp.ImportPath)
+		prev, seen := variants[base]
+		if !seen {
+			order = append(order, base)
+		}
+		// Prefer the variant with test files folded in (its ImportPath
+		// carries a bracket suffix).
+		if !seen || isTestVariant(lp.ImportPath) && !isTestVariant(prev.ImportPath) {
+			variants[base] = lp
+		}
+	}
+
+	// -deps lists the transitive closure; keep only packages the
+	// patterns matched. The go tool has already expanded patterns to
+	// import paths, so match on the module prefix when patterns contain
+	// "...", else exact paths. Simpler and robust: re-list without
+	// -deps to learn the selected set.
+	selected, err := listSelected(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pkgs []listPackage
+	for _, base := range order {
+		if selected[base] {
+			pkgs = append(pkgs, variants[base])
+		}
+	}
+	return pkgs, exports, nil
+}
+
+// listSelected returns the base import paths matching patterns.
+func listSelected(dir string, patterns []string) (map[string]bool, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e"}, patterns...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	sel := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			sel[line] = true
+		}
+	}
+	return sel, nil
+}
+
+// basePath strips a test-variant bracket suffix:
+// "p [p.test]" → "p".
+func basePath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+func isTestVariant(importPath string) bool {
+	return strings.IndexByte(importPath, ' ') >= 0
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// exportImporter resolves imports through the compiler's export data,
+// as located by `go list -export`. importMap carries per-package
+// resolution (vendoring, test variants).
+type exportImporter struct {
+	fset      *token.FileSet
+	exports   map[string]string
+	importMap map[string]string
+	gc        types.Importer
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if ei.gc == nil {
+		ei.gc = importer.ForCompiler(ei.fset, "gc", func(path string) (io.ReadCloser, error) {
+			resolved := path
+			if mapped, ok := ei.importMap[path]; ok {
+				resolved = mapped
+			}
+			file, ok := ei.exports[resolved]
+			if !ok {
+				return nil, fmt.Errorf("lint: no export data for %q", resolved)
+			}
+			return os.Open(file)
+		})
+	}
+	return ei.gc.Import(path)
+}
+
+// LoadFixture parses and type-checks a single directory of Go files as
+// one package — the analysistest path, for fixtures under testdata/
+// that the go tool will not list. Imports are resolved by asking
+// `go list -export` for the fixture's import closure, so fixtures may
+// import both the standard library and this module's packages.
+func LoadFixture(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve the fixture's imports (transitively) to export data.
+	importSet := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	imports := make([]string, 0, len(importSet))
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Export"}, imports...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("lint: go list %v: %v\n%s", imports, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var lp listPackage
+			if err := dec.Decode(&lp); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+			}
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+
+	conf := types.Config{Importer: &exportImporter{fset: fset, exports: exports}}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	path := "iobtlint/fixture/" + filepath.Base(dir)
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %v", dir, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

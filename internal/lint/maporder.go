@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose iteration order can leak
+// into anything the determinism contract covers: checkpoint encoders,
+// journals and other writers, RNG draws, simulation-event scheduling,
+// or slices that escape the loop unsorted. Go randomizes map iteration
+// per run, so any of these turns same-seed runs into different traces
+// (or different snapshot bytes, breaking the replay verifier's digest
+// comparison). The fix is the repo's standard idiom: collect the keys,
+// sort them, iterate the sorted slice (see trust.Ledger.Snapshot).
+// Collecting into a slice that IS sorted before use in the same
+// function is recognized and allowed.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid map iteration feeding snapshots, journals, metrics output, " +
+		"RNG draws, event scheduling, or escaping slices unless the keys are sorted first",
+	Run: runMapOrder,
+}
+
+// orderedWriteMethods are method names that emit bytes in call order
+// regardless of receiver: writing them under a randomized iteration
+// order produces different output every run.
+var orderedWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true,
+}
+
+// orderedPkgFuncs are package-level functions that emit in call order.
+var orderedPkgFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+		"Print": true, "Printf": true, "Println": true,
+	},
+	"encoding/binary": {"Write": true},
+}
+
+// sortFuncs recognize "the collected slice is sorted before use".
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		// Collect every map-range with its innermost enclosing function
+		// body, so the sorted-later check scans the right scope.
+		type mapRange struct {
+			rs *ast.RangeStmt
+			fn *ast.BlockStmt
+		}
+		var ranges []mapRange
+		var fnStack []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case nil:
+				return false
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					fnStack = append(fnStack, x.Body)
+					walkCollect(p, x.Body, &fnStack, func(rs *ast.RangeStmt, fn *ast.BlockStmt) {
+						ranges = append(ranges, mapRange{rs, fn})
+					})
+					fnStack = fnStack[:len(fnStack)-1]
+				}
+				return false
+			}
+			return true
+		})
+		for _, mr := range ranges {
+			checkMapRange(p, mr.rs, mr.fn)
+		}
+	}
+}
+
+// walkCollect walks body tracking nested function literals, invoking
+// found for every range-over-map with its innermost function body.
+func walkCollect(p *Pass, body *ast.BlockStmt, fnStack *[]*ast.BlockStmt, found func(*ast.RangeStmt, *ast.BlockStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if x.Body != nil {
+				*fnStack = append(*fnStack, x.Body)
+				walkCollect(p, x.Body, fnStack, found)
+				*fnStack = (*fnStack)[:len(*fnStack)-1]
+			}
+			return false
+		case *ast.RangeStmt:
+			if t := p.TypeOf(x.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					found(x, (*fnStack)[len(*fnStack)-1])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRange inspects one range-over-map for order-sensitive sinks.
+func checkMapRange(p *Pass, rs *ast.RangeStmt, fn *ast.BlockStmt) {
+	reported := false
+	once := func(pos token.Pos, sink string) {
+		if !reported {
+			reported = true
+			p.Reportf(rs.Pos(), "map iteration order is randomized but this loop %s; collect and sort the keys first (see trust.Ledger.Snapshot)", sink)
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// A closure built per iteration inherits the same hazard
+			// (its registration order is the map order); keep walking.
+			return true
+		case *ast.CallExpr:
+			if sel, isSel := x.Fun.(*ast.SelectorExpr); isSel {
+				if pkgPath, name, ok := pkgQualified(p.Info, sel); ok {
+					if orderedPkgFuncs[pkgPath][name] {
+						once(x.Pos(), "writes formatted output ("+pkgPath+"."+name+")")
+					}
+					return true
+				}
+				named := receiverNamed(p.Info, sel)
+				switch {
+				case namedIs(named, "iobt/internal/checkpoint", "Encoder"):
+					once(x.Pos(), "encodes checkpoint bytes")
+				case namedIs(named, "iobt/internal/sim", "RNG"):
+					once(x.Pos(), "draws from the seeded RNG (draw count becomes order-dependent)")
+				case namedIs(named, "iobt/internal/sim", "Engine"):
+					once(x.Pos(), "schedules simulation events (queue tie-break follows insertion order)")
+				case orderedWriteMethods[sel.Sel.Name]:
+					once(x.Pos(), "writes ordered output ("+sel.Sel.Name+")")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, isCall := rhs.(*ast.CallExpr)
+				if !isCall || i >= len(x.Lhs) {
+					continue
+				}
+				id, isIdent := call.Fun.(*ast.Ident)
+				if !isIdent || id.Name != "append" {
+					continue
+				}
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					continue
+				}
+				target := rootIdent(x.Lhs[i])
+				if target == nil {
+					continue
+				}
+				obj := p.Info.ObjectOf(target)
+				if obj == nil || obj.Pos() == token.NoPos {
+					continue
+				}
+				// Appending to a loop-local slice is the loop's own
+				// business; only escapes matter.
+				if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+					continue
+				}
+				if !sortedAfter(p, fn, rs, obj) {
+					once(x.Pos(), "appends to `"+obj.Name()+"` which escapes the loop unsorted")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether obj is passed to a sort function after
+// the range statement within the enclosing function body. Both the
+// stdlib sorters and local helpers following the sortXxx naming
+// convention (sortNodeIDs, sortLinks) count.
+func sortedAfter(p *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		isSorter := false
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			pkgPath, name, ok := pkgQualified(p.Info, fun)
+			isSorter = ok && sortFuncs[pkgPath][name]
+		case *ast.Ident:
+			isSorter = strings.HasPrefix(strings.ToLower(fun.Name), "sort")
+		}
+		if !isSorter {
+			return true
+		}
+		if root := rootIdent(call.Args[0]); root != nil && p.Info.ObjectOf(root) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

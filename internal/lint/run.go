@@ -1,0 +1,58 @@
+package lint
+
+// Run loads the packages matching patterns (from dir, "" = current
+// directory) and applies the full analyzer suite, returning every
+// finding — including suppressed ones, so callers can audit the allow
+// trail. Findings are ordered by file position.
+func Run(dir string, patterns ...string) ([]Diagnostic, error) {
+	return RunAnalyzers(dir, Analyzers(), patterns...)
+}
+
+// RunAnalyzers is Run with an explicit analyzer set.
+func RunAnalyzers(dir string, as []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, analyze(pkg, as)...)
+	}
+	return out, nil
+}
+
+// Active filters ds to the findings that should fail a build:
+// everything not suppressed by a reasoned allow comment.
+func Active(ds []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ds {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Coverage summarizes a lint run for embedding in benchmark JSON
+// (BENCH_*.json records static coverage alongside invariant coverage).
+type Coverage struct {
+	// Analyzers is the number of rules in the suite.
+	Analyzers int `json:"analyzers"`
+	// Findings is the number of unsuppressed findings (zero at head).
+	Findings int `json:"findings"`
+	// Allowed is the number of findings waived by iobt:allow comments.
+	Allowed int `json:"allowed,omitempty"`
+}
+
+// Summarize folds a run's findings into a Coverage record.
+func Summarize(ds []Diagnostic) Coverage {
+	c := Coverage{Analyzers: len(Analyzers())}
+	for _, d := range ds {
+		if d.Suppressed {
+			c.Allowed++
+		} else {
+			c.Findings++
+		}
+	}
+	return c
+}

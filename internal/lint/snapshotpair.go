@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SnapshotPair enforces the checkpoint contract structurally: a type
+// that declares `Snapshot() []byte` must declare `Restore([]byte)
+// error` and `SnapshotName() string` (the full checkpoint.Snapshotter
+// surface), and the two halves must agree on the wire format. The
+// format check compares the static call profile of the codec — how
+// many Int/Int64/Float64/Bool/String/Uint64 calls each side makes, and
+// which Encode*/Decode* helper pairs they use — so adding a field to
+// Snapshot without teaching Restore to read it back (the PR-3
+// incident-counter class of bug) fails the build instead of
+// corrupting a failover.
+var SnapshotPair = &Analyzer{
+	Name: "snapshotpair",
+	Doc: "every Snapshot() []byte needs a matching Restore([]byte) error and SnapshotName, " +
+		"and both sides must make the same codec calls (same kinds, same counts)",
+	Run: runSnapshotPair,
+}
+
+// codecKinds are the checkpoint.Encoder/Decoder methods that move one
+// value; the two bodies must use them with equal multiplicity.
+var codecKinds = map[string]bool{
+	"Uint64": true, "Int64": true, "Int": true,
+	"Float64": true, "Bool": true, "String": true,
+}
+
+// snapMethods gathers one receiver type's checkpoint surface.
+type snapMethods struct {
+	typeName     string
+	snapshot     *ast.FuncDecl
+	restore      *ast.FuncDecl
+	snapshotName *ast.FuncDecl
+}
+
+func runSnapshotPair(p *Pass) {
+	byType := map[string]*snapMethods{}
+	var order []string
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recv := recvTypeName(fd.Recv.List[0].Type)
+			if recv == "" {
+				continue
+			}
+			sm := byType[recv]
+			if sm == nil {
+				sm = &snapMethods{typeName: recv}
+				byType[recv] = sm
+				order = append(order, recv)
+			}
+			switch fd.Name.Name {
+			case "Snapshot":
+				if sigIs(p, fd, nil, []string{"[]byte"}) {
+					sm.snapshot = fd
+				}
+			case "Restore":
+				if sigIs(p, fd, []string{"[]byte"}, []string{"error"}) {
+					sm.restore = fd
+				}
+			case "SnapshotName":
+				if sigIs(p, fd, nil, []string{"string"}) {
+					sm.snapshotName = fd
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		sm := byType[name]
+		switch {
+		case sm.snapshot != nil && sm.restore == nil:
+			p.Reportf(sm.snapshot.Name.Pos(),
+				"%s declares Snapshot() []byte but no Restore([]byte) error; checkpointed state must be restorable", sm.typeName)
+		case sm.restore != nil && sm.snapshot == nil:
+			p.Reportf(sm.restore.Name.Pos(),
+				"%s declares Restore([]byte) error but no Snapshot() []byte; restore paths need a producing snapshot", sm.typeName)
+		case sm.snapshot != nil && sm.restore != nil:
+			if sm.snapshotName == nil {
+				p.Reportf(sm.snapshot.Name.Pos(),
+					"%s has Snapshot/Restore but no SnapshotName() string; it cannot join a checkpoint.Coordinator section", sm.typeName)
+			}
+			checkCodecBalance(p, sm)
+		}
+	}
+}
+
+// checkCodecBalance compares the static codec-call profile of the two
+// bodies. Counts are static occurrences (a call inside a loop counts
+// once), which matches the repo's length-prefixed encoding style: each
+// encoded field has exactly one call site on each side.
+func checkCodecBalance(p *Pass, sm *snapMethods) {
+	enc := codecProfile(p, sm.snapshot, "iobt/internal/checkpoint", "Encoder", "Encode")
+	dec := codecProfile(p, sm.restore, "iobt/internal/checkpoint", "Decoder", "Decode")
+	if len(enc) == 0 || len(dec) == 0 {
+		return // custom encoding style; nothing to compare structurally
+	}
+	var diffs []string
+	keys := map[string]bool{}
+	for k := range enc {
+		keys[k] = true
+	}
+	for k := range dec {
+		keys[k] = true
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	for _, k := range ordered {
+		if enc[k] != dec[k] {
+			diffs = append(diffs, fmt.Sprintf("%s: %d encoded vs %d decoded", k, enc[k], dec[k]))
+		}
+	}
+	if len(diffs) > 0 {
+		p.Reportf(sm.snapshot.Name.Pos(),
+			"%s.Snapshot and Restore disagree on the wire format (%s); every encoded field must be decoded back",
+			sm.typeName, strings.Join(diffs, ", "))
+	}
+}
+
+// codecProfile counts codec calls in fd's body: methods of the given
+// checkpoint type by kind name, plus package-level helpers whose name
+// starts with prefix ("Encode"/"Decode"), keyed by the shared suffix
+// so EncodeComposite pairs with DecodeComposite.
+func codecProfile(p *Pass, fd *ast.FuncDecl, pkgPath, typeName, prefix string) map[string]int {
+	counts := map[string]int{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if !isSel {
+			return true
+		}
+		if qp, qn, ok := pkgQualified(p.Info, sel); ok {
+			if strings.HasPrefix(qn, prefix) && len(qn) > len(prefix) {
+				counts["helper "+qp+"."+strings.TrimPrefix(qn, prefix)]++
+			}
+			return true
+		}
+		if named := receiverNamed(p.Info, sel); namedIs(named, pkgPath, typeName) && codecKinds[sel.Sel.Name] {
+			counts[sel.Sel.Name]++
+		}
+		return true
+	})
+	return counts
+}
+
+// recvTypeName returns the receiver's base type identifier.
+func recvTypeName(t ast.Expr) string {
+	switch x := t.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.StarExpr:
+		return recvTypeName(x.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(x.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(x.X)
+	}
+	return ""
+}
+
+// sigIs reports whether fd's signature has exactly the given parameter
+// and result types (rendered with types.TypeString, unqualified for
+// universe types).
+func sigIs(p *Pass, fd *ast.FuncDecl, params, results []string) bool {
+	fn, isFunc := p.Info.Defs[fd.Name].(*types.Func)
+	if !isFunc {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return tupleIs(sig.Params(), params) && tupleIs(sig.Results(), results)
+}
+
+func tupleIs(t *types.Tuple, want []string) bool {
+	if t.Len() != len(want) {
+		return false
+	}
+	for i := 0; i < t.Len(); i++ {
+		if types.TypeString(t.At(i).Type(), nil) != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,47 @@
+// Package detrand exercises the detrand analyzer: wall-clock reads,
+// host timers, and unseeded randomness are findings outside the
+// allowlisted packages; referring to math/rand types is not.
+package detrand
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+var start = time.Now() // want `time\.Now is a wall-clock read`
+
+func elapsed() time.Duration {
+	return time.Since(start) // want `time\.Since is a wall-clock read`
+}
+
+func wait() {
+	time.Sleep(time.Second) // want `time\.Sleep is a host-timer wait`
+}
+
+func timer() <-chan time.Time {
+	return time.After(time.Second) // want `time\.After is a host timer`
+}
+
+func roll() int {
+	return rand.Intn(6) // want `math/rand\.Intn bypasses the seeded stream discipline`
+}
+
+func stream(seed int64) *rand.Rand {
+	// The type reference (*rand.Rand) is fine; constructing an
+	// unmanaged stream is not.
+	return rand.New(rand.NewSource(seed)) // want `math/rand\.New bypasses` `math/rand\.NewSource bypasses`
+}
+
+func entropy(b []byte) {
+	_, _ = crand.Read(b) // want `crypto/rand is nondeterministic by design`
+}
+
+// durationMath shows that time arithmetic and formatting stay legal:
+// only reading host time is banned.
+func durationMath(d time.Duration) string {
+	return (d + time.Second).String()
+}
+
+//iobt:allow detrand host-side profiling hook, never called inside the simulated world
+var profileStart = time.Now()

@@ -1,0 +1,95 @@
+// Package maporder exercises the maporder analyzer: map iteration
+// feeding ordered sinks (writers, checkpoint encoders, RNG draws,
+// event scheduling, escaping slices) is a finding; the collect-keys-
+// then-sort idiom and reasoned allows are not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iobt/internal/checkpoint"
+	"iobt/internal/sim"
+)
+
+func emit(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m { // want `writes formatted output \(fmt\.Fprintf\)`
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.String()
+}
+
+func writeEach(m map[string]string, b *strings.Builder) {
+	for _, v := range m { // want `writes ordered output \(WriteString\)`
+		b.WriteString(v)
+	}
+}
+
+func encode(m map[int]float64, e *checkpoint.Encoder) {
+	for k, v := range m { // want `encodes checkpoint bytes`
+		e.Int(k)
+		e.Float64(v)
+	}
+}
+
+func draw(m map[string]int, rng *sim.RNG) float64 {
+	sum := 0.0
+	for range m { // want `draws from the seeded RNG`
+		sum += rng.Float64()
+	}
+	return sum
+}
+
+func schedule(m map[string]func(), eng *sim.Engine) {
+	for name, fn := range m { // want `schedules simulation events`
+		eng.Schedule(0, name, fn)
+	}
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `escapes the loop unsorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectSorted is the repo's canonical idiom: collect, sort, use.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortKeysHelper shows a local sortXxx helper counts as sorting.
+func sortKeys(s []string) { sort.Strings(s) }
+
+func collectHelperSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+// commutative accumulation never leaves the loop; no finding.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func allowedDebugDump(m map[string]int) {
+	//iobt:allow maporder debug dump on demand; output order never reaches a trace or snapshot
+	for k := range m {
+		fmt.Println(k)
+	}
+}

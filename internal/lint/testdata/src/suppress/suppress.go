@@ -1,0 +1,15 @@
+// Package suppress exercises the iobt:allow escape hatch itself: an
+// allow comment with no reason is a finding (and suppresses nothing),
+// and naming an unknown analyzer is a finding.
+package suppress
+
+import "time"
+
+//iobt:allow detrand // want `iobt:allow detrand has no reason`
+var t0 = time.Now() // want `time\.Now is a wall-clock read`
+
+//iobt:allow nosuchanalyzer the rule this refers to does not exist // want `iobt:allow names unknown analyzer "nosuchanalyzer"`
+var label = "x"
+
+//iobt:allow detrand benchmarks the fixture loader on the host, outside the simulated world
+var t1 = time.Now()

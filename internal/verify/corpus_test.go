@@ -1,8 +1,10 @@
 package verify
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -36,6 +38,13 @@ func TestCorpusReproducers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Corpus files must declare the schema version this build
+			// writes; a format change without re-shrinking the corpus
+			// fails here, not with a confusing misparse downstream.
+			wantHeader := fmt.Sprintf("scenario v%d", SchemaVersion)
+			if header, _, _ := strings.Cut(string(src), "\n"); header != wantHeader {
+				t.Fatalf("corpus header %q, want %q; re-shrink this reproducer for the new format", header, wantHeader)
+			}
 			s, err := ParseScenario(string(src))
 			if err != nil {
 				t.Fatalf("parse: %v", err)
@@ -52,6 +61,35 @@ func TestCorpusReproducers(t *testing.T) {
 				t.Fatalf("corpus scenario violates invariants again: %s", out.Summary)
 			}
 			t.Logf("%s", out.Summary)
+		})
+	}
+}
+
+// TestScenarioSchemaVersion pins the parser's version gate: files from
+// a future (or garbled) format are rejected with a version error, not
+// misparsed.
+func TestScenarioSchemaVersion(t *testing.T) {
+	valid := Generate(1).String()
+	if _, err := ParseScenario(valid); err != nil {
+		t.Fatalf("current-version scenario rejected: %v", err)
+	}
+	head := fmt.Sprintf("scenario v%d", SchemaVersion)
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"future version",
+			strings.Replace(valid, head, fmt.Sprintf("scenario v%d", SchemaVersion+1), 1),
+			fmt.Sprintf("schema v%d not supported", SchemaVersion+1)},
+		{"no version number", strings.Replace(valid, head, "scenario vX", 1), "not a scenario file"},
+		{"missing header", strings.Replace(valid, head+"\n", "", 1), "not a scenario file"},
+		{"empty", "", "not a scenario file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenario(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
 		})
 	}
 }

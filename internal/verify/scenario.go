@@ -218,11 +218,12 @@ func runScenario(s Scenario, j *checkpoint.Journal, prestart func(*core.World, *
 	}
 	defer r.Stop()
 
-	reg := NewRegistry()
-	reg.Add(MissionInvariants(w, r)...)
+	invs := MissionInvariants(w, r)
 	for _, mk := range extra {
-		reg.Add(mk(w, r))
+		invs = append(invs, mk(w, r))
 	}
+	reg := NewRegistry()
+	reg.Add(invs...)
 
 	if s.Plan != nil && len(s.Plan.Faults) > 0 {
 		fault.Apply(fault.Target{
@@ -254,12 +255,18 @@ func runScenario(s Scenario, j *checkpoint.Journal, prestart func(*core.World, *
 	}
 }
 
+// SchemaVersion is the reproducer file format version. Bump it when
+// String's output changes shape (new fields are fine — unknown keys
+// already error — but renames, reordering, or fault-DSL changes must
+// bump), so stale corpus files fail loudly instead of misparsing.
+const SchemaVersion = 1
+
 // String serializes the scenario as a replayable reproducer file: a
 // header line, one key=value line, and the embedded fault plan DSL.
 // ParseScenario is its exact inverse.
 func (s Scenario) String() string {
 	var b strings.Builder
-	b.WriteString("scenario v1\n")
+	fmt.Fprintf(&b, "scenario v%d\n", SchemaVersion)
 	fmt.Fprintf(&b,
 		"seed=%d assets=%d size=%s terrain=%s command=%s reliable=%v degrade=%v checkpoint=%s rate=%s horizon=%s track=%v\n",
 		s.Seed, s.Assets, ftoa(s.Size), s.Terrain, s.Command, s.Reliable, s.Degrade,
@@ -276,8 +283,17 @@ func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 func ParseScenario(src string) (Scenario, error) {
 	var s Scenario
 	lines := strings.Split(strings.TrimSpace(src), "\n")
-	if len(lines) < 2 || strings.TrimSpace(lines[0]) != "scenario v1" {
-		return s, fmt.Errorf("verify: not a scenario file (want \"scenario v1\" header)")
+	if len(lines) < 2 {
+		return s, fmt.Errorf("verify: not a scenario file (want \"scenario v%d\" header)", SchemaVersion)
+	}
+	header := strings.TrimSpace(lines[0])
+	vs, ok := strings.CutPrefix(header, "scenario v")
+	version, err := strconv.Atoi(vs)
+	if !ok || err != nil {
+		return s, fmt.Errorf("verify: not a scenario file (want \"scenario v%d\" header, got %q)", SchemaVersion, header)
+	}
+	if version != SchemaVersion {
+		return s, fmt.Errorf("verify: scenario schema v%d not supported (this build reads v%d); re-shrink the reproducer", version, SchemaVersion)
 	}
 	for _, kv := range strings.Fields(lines[1]) {
 		k, v, ok := strings.Cut(kv, "=")
