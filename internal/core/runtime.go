@@ -286,16 +286,27 @@ func (r *Runtime) relaxOnce() bool {
 	return true
 }
 
-// liveMembers materializes current member candidates with live
-// positions, in ascending ID order: the list feeds the composition
-// solvers, whose tie-breaking follows slice order, so map iteration
-// order must not leak into it.
-func (r *Runtime) liveMembers() []compose.Candidate {
+// sortedMemberIDs returns the current composite membership in
+// ascending ID order. Every loop over r.members whose effects can
+// reach scheduling, messaging, or tie-breaking must iterate this
+// slice instead of the map: map iteration order differs between
+// same-seed runs, and dettaint traces any value it touches all the
+// way into the event queue.
+func (r *Runtime) sortedMemberIDs() []asset.ID {
 	ids := make([]asset.ID, 0, len(r.members))
 	for id := range r.members {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// liveMembers materializes current member candidates with live
+// positions, in ascending ID order: the list feeds the composition
+// solvers, whose tie-breaking follows slice order, so map iteration
+// order must not leak into it.
+func (r *Runtime) liveMembers() []compose.Candidate {
+	ids := r.sortedMemberIDs()
 	var out []compose.Candidate
 	for _, id := range ids {
 		a := r.W.Pop.Get(id)
@@ -429,7 +440,7 @@ func (r *Runtime) registerCommandNodes() {
 	if r.Mission.Command != CommandHierarchy {
 		return
 	}
-	for id := range r.members {
+	for _, id := range r.sortedMemberIDs() {
 		r.registerNode(id)
 	}
 	if r.sink != asset.None {
@@ -569,7 +580,10 @@ func (r *Runtime) nearestDetector(pos geo.Point) asset.ID {
 	bestD := 0.0
 	mods := r.Mission.Goal.Modalities
 	blocked := r.W.Smoke.BlockedAt(pos)
-	for id := range r.members {
+	// Ascending-ID iteration makes the strict `d < bestD` tie-break
+	// deterministic: equidistant detectors resolve to the lowest ID
+	// instead of whichever the map yielded first that run.
+	for _, id := range r.sortedMemberIDs() {
 		a := r.W.Pop.Get(id)
 		if a == nil || !a.Alive() {
 			continue

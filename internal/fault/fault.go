@@ -147,9 +147,14 @@ type Fault struct {
 
 // windowed reports whether the fault is an interval (vs. an instant).
 func (f Fault) windowed() bool {
+	// Every Kind is listed explicitly — no default — so that adding a
+	// variant without deciding its windowing is an enumcase finding,
+	// not a silent "instant".
 	switch f.Kind {
 	case Partition, JamWave, Corrupt, Delay, ChurnSpike, Smoke:
 		return true
+	case KillWave, CommandPostLoss, CrashPost, Failover:
+		return false
 	}
 	return false
 }
@@ -348,6 +353,9 @@ func (inj *Injector) hopEffect(*mesh.Message) mesh.HopEffect {
 			if inj.rng.Bool(probOrOne(f.Prob)) {
 				eff.Delay += f.Extra
 			}
+		default:
+			// Only Corrupt and Delay act per hop; the other kinds
+			// take effect through topology or scheduled events.
 		}
 	}
 	return eff

@@ -290,6 +290,7 @@ func TestPartitionSeversCrossLinks(t *testing.T) {
 	send := func() bool {
 		ok := false
 		net.RegisterHandler(1, func(mesh.Message) { ok = true })
+		//iobt:allow errdrop connectivity probe: a refused send during the partition window is the expected outcome the delivery flag asserts
 		_ = net.Send(mesh.Message{From: 0, To: 1, Size: 10, Kind: "probe"})
 		_ = eng.Run(2 * time.Second)
 		return ok
@@ -332,7 +333,9 @@ func TestCorruptAndDelayHopFaults(t *testing.T) {
 	var gotAt time.Duration
 	net.RegisterHandler(1, func(m mesh.Message) { gotKind, gotAt = m.Kind, eng.Now() })
 	start := eng.Now()
-	_ = net.Send(mesh.Message{From: 0, To: 1, Size: 10, Kind: "order", Payload: "x"})
+	if err := net.Send(mesh.Message{From: 0, To: 1, Size: 10, Kind: "order", Payload: "x"}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
 	_ = eng.Run(10 * time.Second)
 	if gotKind != "corrupt" {
 		t.Errorf("delivered kind %q, want corrupt", gotKind)

@@ -105,6 +105,9 @@ func parseFault(verb string, kvs []string) (Fault, error) {
 			return f, fmt.Errorf("failover: want operand \"warm\" or \"cold\", got %q", kvs[0])
 		}
 		kvs = kvs[1:]
+	default:
+		// The remaining kinds take no positional operands; everything
+		// after the verb is key=value fields.
 	}
 	for _, kv := range kvs {
 		k, v, ok := strings.Cut(kv, "=")
@@ -178,6 +181,9 @@ func (f Fault) String() string {
 		} else {
 			b.WriteString(" cold")
 		}
+	default:
+		// Mirrors the parser: only crash and failover carry
+		// positional operands.
 	}
 	fmt.Fprintf(&b, " at=%s", f.At)
 	// Every nonzero field is emitted — even ones inert for this kind —

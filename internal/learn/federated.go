@@ -260,6 +260,9 @@ func RunFederated(rng *sim.RNG, shards []*Dataset, test *Dataset, cfg FedConfig)
 			}
 			if wi < nByz {
 				switch cfg.Attack {
+				case AttackNone:
+					// Byzantine workers behave honestly: the update
+					// computed above goes out unmodified.
 				case AttackSignFlip:
 					for i := range w {
 						w[i] = -10 * w[i]

@@ -33,7 +33,7 @@ func runFixture(t *testing.T, dir string, as ...*Analyzer) []Diagnostic {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := analyze(pkg, as)
+	diags := NewProgram([]*Package{pkg}).analyzePackage(pkg, as)
 
 	type wantKey struct {
 		file string

@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file builds the whole-program call graph the interprocedural
+// analyzers (dettaint) run on. Nodes are functions keyed by their
+// canonical full name — types.Func.FullName() renders identically for
+// the same function seen from different type-check universes, which
+// matters because each loaded package is checked against export data
+// and therefore holds its own object for every imported function.
+//
+// Edges cover static calls (package functions, methods on concrete
+// receivers) and interface dispatch resolved class-hierarchy style: a
+// call through an interface method I.M fans out to every concrete
+// method named M with an identical non-receiver signature among the
+// analyzed packages. Calls through plain function values are not
+// tracked; function literals are inlined into their enclosing
+// declaration (the taint engine walks them the same way), so a closure
+// scheduled from the function that builds it is still seen.
+
+// A CGNode is one function in the call graph.
+type CGNode struct {
+	// Key is the canonical function key, e.g.
+	// "(*iobt/internal/mesh.Network).Send" or
+	// "iobt/internal/verify.ParseScenario".
+	Key string
+	// Decl is the function's declaration; nil for functions whose body
+	// is outside the analyzed packages.
+	Decl *ast.FuncDecl
+	// Pkg is the analyzed package declaring the function.
+	Pkg *Package
+	// Out lists callee keys, deduplicated and sorted.
+	Out []string
+
+	outSet map[string]bool
+}
+
+// A CallGraph is the whole-program static call graph.
+type CallGraph struct {
+	// Nodes indexes every function declared in the analyzed packages.
+	Nodes map[string]*CGNode
+	// methodImpls maps "name|sig" to the keys of concrete methods, for
+	// resolving interface dispatch at call sites.
+	methodImpls map[string][]string
+}
+
+// funcKey canonicalizes a function object across type-check universes.
+func funcKey(fn *types.Func) string { return fn.FullName() }
+
+// sigKey renders a function's non-receiver signature with
+// package-path-qualified types, for matching interface methods to
+// their implementations across universes.
+func sigKey(sig *types.Signature) string {
+	q := func(p *types.Package) string { return p.Path() }
+	parts := make([]string, 0, sig.Params().Len()+sig.Results().Len()+1)
+	for i := 0; i < sig.Params().Len(); i++ {
+		parts = append(parts, types.TypeString(sig.Params().At(i).Type(), q))
+	}
+	parts = append(parts, "→")
+	for i := 0; i < sig.Results().Len(); i++ {
+		parts = append(parts, types.TypeString(sig.Results().At(i).Type(), q))
+	}
+	return strings.Join(parts, ",")
+}
+
+// buildCallGraph indexes all function declarations and resolves call
+// edges over pkgs.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: map[string]*CGNode{}, methodImpls: map[string][]string{}}
+	methodImpls := g.methodImpls
+
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, isFunc := decl.(*ast.FuncDecl)
+				if !isFunc || fd.Body == nil {
+					continue
+				}
+				fn, isFn := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !isFn {
+					continue
+				}
+				key := funcKey(fn)
+				g.Nodes[key] = &CGNode{Key: key, Decl: fd, Pkg: pkg, outSet: map[string]bool{}}
+				sig := fn.Type().(*types.Signature)
+				if recv := sig.Recv(); recv != nil {
+					if _, isIface := recv.Type().Underlying().(*types.Interface); !isIface {
+						mk := fn.Name() + "|" + sigKey(sig)
+						methodImpls[mk] = append(methodImpls[mk], key)
+					}
+				}
+			}
+		}
+	}
+
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, isFunc := decl.(*ast.FuncDecl)
+				if !isFunc || fd.Body == nil {
+					continue
+				}
+				fn, isFn := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !isFn {
+					continue
+				}
+				node := g.Nodes[funcKey(fn)]
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, isCall := n.(*ast.CallExpr)
+					if !isCall {
+						return true
+					}
+					for _, callee := range calleeKeys(pkg.Info, call, methodImpls) {
+						node.outSet[callee] = true
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	for _, node := range g.Nodes {
+		node.Out = make([]string, 0, len(node.outSet))
+		for k := range node.outSet {
+			node.Out = append(node.Out, k)
+		}
+		sort.Strings(node.Out)
+	}
+	for _, impls := range methodImpls {
+		sort.Strings(impls)
+	}
+	return g
+}
+
+// staticCallee resolves call to the single *types.Func it statically
+// invokes, or nil for builtins, conversions, and function values.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeKeys resolves one call site to the function keys it may reach:
+// the static callee, or the dispatch set for an interface method call.
+func calleeKeys(info *types.Info, call *ast.CallExpr, methodImpls map[string][]string) []string {
+	fn := staticCallee(info, call)
+	if fn == nil {
+		return nil
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		if _, isIface := recv.Type().Underlying().(*types.Interface); isIface {
+			return methodImpls[fn.Name()+"|"+sigKey(sig)]
+		}
+	}
+	return []string{funcKey(fn)}
+}
+
+// sccs returns the strongly connected components of the graph in
+// reverse topological order (callees before callers), so one bottom-up
+// pass sees every callee summary before it is needed. Tarjan's
+// algorithm emits components in exactly that order.
+func (g *CallGraph) sccs() [][]*CGNode {
+	keys := make([]string, 0, len(g.Nodes))
+	for k := range g.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var order [][]*CGNode
+	next := 0
+
+	var strongConnect func(k string)
+	strongConnect = func(k string) {
+		index[k] = next
+		low[k] = next
+		next++
+		stack = append(stack, k)
+		onStack[k] = true
+		for _, out := range g.Nodes[k].Out {
+			if _, known := g.Nodes[out]; !known {
+				continue // external function: no body, no summary cycle
+			}
+			if _, visited := index[out]; !visited {
+				strongConnect(out)
+				if low[out] < low[k] {
+					low[k] = low[out]
+				}
+			} else if onStack[out] && index[out] < low[k] {
+				low[k] = index[out]
+			}
+		}
+		if low[k] == index[k] {
+			var comp []*CGNode
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				comp = append(comp, g.Nodes[top])
+				if top == k {
+					break
+				}
+			}
+			sort.Slice(comp, func(i, j int) bool { return comp[i].Key < comp[j].Key })
+			order = append(order, comp)
+		}
+	}
+	for _, k := range keys {
+		if _, visited := index[k]; !visited {
+			strongConnect(k)
+		}
+	}
+	return order
+}
+
+// WriteDOT dumps the graph in Graphviz DOT form, nodes and edges in
+// deterministic order (iobtlint -graph).
+func (g *CallGraph) WriteDOT(w io.Writer) error {
+	keys := make([]string, 0, len(g.Nodes))
+	for k := range g.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if _, err := fmt.Fprintln(w, "digraph iobt {"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %q;\n", k)
+	}
+	for _, k := range keys {
+		for _, out := range g.Nodes[k].Out {
+			if _, known := g.Nodes[out]; known {
+				fmt.Fprintf(w, "  %q -> %q;\n", k, out)
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

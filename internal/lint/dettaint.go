@@ -1,0 +1,42 @@
+package lint
+
+import "strings"
+
+// DetTaint is the interprocedural successor to maporder's escape
+// rules. maporder sees one function at a time, so it goes blind the
+// moment map-ordered data crosses a call: a helper that collects map
+// keys and returns them unsorted, a caller that hands a tainted slice
+// to a function that encodes it, a closure scheduled with an
+// entropy-derived delay. DetTaint runs on the whole-program taint
+// summaries (see taint.go/summaries.go): a value whose order depends
+// on map iteration, or whose content derives from host entropy, must
+// not reach event scheduling, checkpoint/codec encoders, RNG stream
+// selection, ordered writers, or the return value of an exported
+// function (for slices) — across any number of function boundaries.
+//
+// Purely intra-function flows are maporder/detrand territory and are
+// not re-reported here; every dettaint finding involves at least one
+// call boundary, which is exactly the class the intraprocedural suite
+// provably misses.
+var DetTaint = &Analyzer{
+	Name: "dettaint",
+	Doc: "forbid map-iteration-ordered or host-entropy-tainted values from reaching " +
+		"schedulers, encoders, RNG selection, or exported slices across function boundaries",
+	Run: runDetTaint,
+}
+
+func runDetTaint(p *Pass) {
+	// The same entry points detrand exempts are exempt here: cmd/ and
+	// examples/ legitimately turn host entropy into seeds, and
+	// internal/sim is the wrapper that builds deterministic streams.
+	// Their bodies still contribute summaries, so taint flowing
+	// through them into simulation code is reported at that code.
+	for _, prefix := range detrandExemptPrefixes {
+		if strings.HasPrefix(p.Path+"/", prefix+"/") || strings.HasPrefix(p.Path, prefix) {
+			return
+		}
+	}
+	for _, f := range p.Prog.findingsFor(p.Path) {
+		p.Reportf(f.pos, "%s", f.msg)
+	}
+}

@@ -52,6 +52,9 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Prog is the whole-program view (call graph, taint summaries) the
+	// interprocedural analyzers consult; always non-nil.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -211,12 +214,12 @@ func sortDiagnostics(ds []Diagnostic) {
 
 // Analyzers returns the full iobtlint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, SnapshotPair, MetricReg}
+	return []*Analyzer{DetRand, MapOrder, SnapshotPair, MetricReg, DetTaint, EnumCase, ErrDrop}
 }
 
-// analyze runs every analyzer in as over one loaded package and
+// analyzePackage runs every analyzer in as over one loaded package and
 // resolves suppressions.
-func analyze(pkg *Package, as []*Analyzer) []Diagnostic {
+func (prog *Program) analyzePackage(pkg *Package, as []*Analyzer) []Diagnostic {
 	var raw []Diagnostic
 	for _, a := range as {
 		pass := &Pass{
@@ -226,12 +229,16 @@ func analyze(pkg *Package, as []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Prog:     prog,
 			diags:    &raw,
 		}
 		a.Run(pass)
 	}
+	// Allow comments validate against the full registry, not just the
+	// analyzers in this run: waiving a real analyzer that happens not
+	// to be running is fine; naming one that does not exist never is.
 	known := map[string]bool{}
-	for _, a := range as {
+	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
 	return scanAllows(pkg.Fset, pkg.Files).apply(raw, known)

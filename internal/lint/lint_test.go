@@ -1,6 +1,9 @@
 package lint
 
 import (
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -19,7 +22,8 @@ func TestDetRandExemptPaths(t *testing.T) {
 	}
 	for _, path := range []string{"iobt/internal/sim", "iobt/cmd/iobtsim", "iobt/examples/quickstart"} {
 		pkg.Path = path
-		if diags := analyze(pkg, []*Analyzer{DetRand}); len(Active(diags)) != 0 {
+		prog := NewProgram([]*Package{pkg})
+		if diags := prog.analyzePackage(pkg, []*Analyzer{DetRand}); len(Active(diags)) != 0 {
 			t.Errorf("path %s: want no findings, got %v", path, Active(diags))
 		}
 	}
@@ -67,8 +71,8 @@ func TestTreeClean(t *testing.T) {
 		t.Errorf("iobtlint findings on the tree:\n%s", b.String())
 	}
 	cov := Summarize(diags)
-	if cov.Analyzers != 4 {
-		t.Errorf("analyzer count = %d, want 4", cov.Analyzers)
+	if cov.Analyzers != 7 {
+		t.Errorf("analyzer count = %d, want 7", cov.Analyzers)
 	}
 	if cov.Allowed == 0 {
 		t.Error("expected at least one reasoned iobt:allow on the tree")
@@ -82,10 +86,167 @@ func TestCoverageSummary(t *testing.T) {
 		{Analyzer: "maporder", Message: "b", Suppressed: true, Reason: "r"},
 	}
 	cov := Summarize(diags)
-	if cov.Analyzers != 4 || cov.Findings != 1 || cov.Allowed != 1 {
+	if cov.Analyzers != 7 || cov.Findings != 1 || cov.Allowed != 1 {
 		t.Errorf("coverage = %+v", cov)
+	}
+	if len(cov.Names) != 7 || cov.Names[0] != "detrand" {
+		t.Errorf("names = %v, want 7 sorted analyzer names", cov.Names)
+	}
+	if cov.ByAnalyzer["detrand"].Findings != 1 || cov.ByAnalyzer["maporder"].Allowed != 1 {
+		t.Errorf("per-analyzer counts = %+v", cov.ByAnalyzer)
 	}
 	if len(Active(diags)) != 1 {
 		t.Errorf("active = %d, want 1", len(Active(diags)))
+	}
+}
+
+func TestDetTaintFixture(t *testing.T) {
+	diags := runFixture(t, "dettaint", DetTaint)
+	requireSuppressed(t, diags, 1)
+}
+
+func TestEnumCaseFixture(t *testing.T) {
+	diags := runFixture(t, "enumcase", EnumCase)
+	requireSuppressed(t, diags, 1)
+}
+
+func TestErrDropFixture(t *testing.T) {
+	diags := runFixture(t, "errdrop", ErrDrop)
+	requireSuppressed(t, diags, 1)
+}
+
+// TestDetTaintCatchesWhatMapOrderMisses is the acceptance criterion in
+// test form: every flow in the dettaint fixture crosses at least one
+// call boundary, so the intraprocedural maporder analyzer reports
+// nothing on the same file while dettaint reports each sink.
+func TestDetTaintCatchesWhatMapOrderMisses(t *testing.T) {
+	pkg, err := LoadFixture("testdata/src/dettaint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram([]*Package{pkg})
+	if mo := Active(prog.analyzePackage(pkg, []*Analyzer{MapOrder})); len(mo) != 0 {
+		t.Errorf("maporder found %d findings on the interprocedural fixture; these flows must be invisible to it:\n%v", len(mo), mo)
+	}
+	dt := Active(prog.analyzePackage(pkg, []*Analyzer{DetTaint}))
+	if len(dt) < 4 {
+		t.Errorf("dettaint found %d findings, want the fixture's 4 interprocedural flows:\n%v", len(dt), dt)
+	}
+}
+
+// TestEnumMutationGuard simulates the add-a-variant bug: it appends a
+// new constant to the fixture enum and asserts the switch that was
+// fully covered before the mutation is now a stale-switch finding.
+func TestEnumMutationGuard(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "enumcase", "enumcase.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const marker = "// enum-mutation-point: the guard test inserts a new constant here."
+	if !strings.Contains(string(src), marker) {
+		t.Fatalf("fixture lost its mutation marker %q", marker)
+	}
+	mutated := strings.Replace(string(src), marker, "PhaseRegroup\n\t"+marker, 1)
+	// The pre-mutation fixture declares its own wants; strip them so
+	// only the mutation's effect is measured.
+	mutated = regexp.MustCompile(`(?m)// want .*$`).ReplaceAllString(mutated, "")
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "enumcase.go"), []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadFixture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Active(NewProgram([]*Package{pkg}).analyzePackage(pkg, []*Analyzer{EnumCase}))
+	stale := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "PhaseRegroup") {
+			stale++
+		}
+	}
+	// Every unwaived switch that lacked a default before the mutation
+	// must go stale: covered, coveredByAlias, and incomplete all now
+	// miss PhaseRegroup. defaulted opted out; the waived switch stays
+	// suppressed by its reasoned allow.
+	if stale < 3 {
+		t.Errorf("adding PhaseRegroup produced %d stale-switch findings, want >= 3:\n%v", stale, diags)
+	}
+}
+
+func TestMatchPackage(t *testing.T) {
+	cases := []struct {
+		glob, path string
+		want       bool
+	}{
+		{"", "iobt/internal/mesh", true},
+		{"...", "iobt/internal/mesh", true},
+		{"iobt/internal/mesh", "iobt/internal/mesh", true},
+		{"iobt/internal/mesh", "iobt/internal/meshx", false},
+		{"iobt/internal/...", "iobt/internal/mesh", true},
+		{"iobt/internal/...", "iobt/internal", true},
+		{"iobt/internal/...", "iobt/cmd/iobtlint", false},
+		{"iobt/*/mesh", "iobt/internal/mesh", true},
+		{"iobt/*/mesh", "iobt/internal/core", false},
+		{"iobt/internal/m*", "iobt/internal/mesh", true},
+		{"iobt/internal/m*", "iobt/internal/core", false},
+		{"iobt/*", "iobt/internal/mesh", false}, // "*" spans one segment only
+	}
+	for _, c := range cases {
+		if got := MatchPackage(c.glob, c.path); got != c.want {
+			t.Errorf("MatchPackage(%q, %q) = %v, want %v", c.glob, c.path, got, c.want)
+		}
+	}
+}
+
+// TestAnalyzeMatchingFilters runs two fixtures through one program and
+// asserts the glob restricts reporting to the matching package.
+func TestAnalyzeMatchingFilters(t *testing.T) {
+	ep, err := LoadFixture("testdata/src/errdrop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := LoadFixture("testdata/src/maporder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram([]*Package{ep, mp})
+	all := Active(prog.Analyze([]*Analyzer{MapOrder, ErrDrop}))
+	// Fixtures load under iobtlint/fixture/<dir>.
+	filtered := Active(prog.AnalyzeMatching([]*Analyzer{MapOrder, ErrDrop}, "iobtlint/*/errdrop"))
+	if len(filtered) == 0 || len(filtered) >= len(all) {
+		t.Fatalf("filtered = %d findings, all = %d; want a strict non-empty subset", len(filtered), len(all))
+	}
+	for _, d := range filtered {
+		if !strings.Contains(d.Pos.Filename, "errdrop") {
+			t.Errorf("glob \"errdrop\" leaked finding from %s", d.Pos.Filename)
+		}
+	}
+}
+
+// TestWriteDOTDeterministic renders the call graph twice and requires
+// byte-identical output — the linter holds itself to its own rules.
+func TestWriteDOTDeterministic(t *testing.T) {
+	pkg, err := LoadFixture("testdata/src/dettaint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram([]*Package{pkg})
+	var a, b strings.Builder
+	if err := prog.Graph.WriteDOT(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Graph.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("WriteDOT output differs between calls")
+	}
+	if !strings.Contains(a.String(), "pickFirst") {
+		t.Errorf("call graph missing fixture node:\n%s", a.String())
+	}
+	if !strings.Contains(a.String(), "->") {
+		t.Error("call graph has no edges")
 	}
 }

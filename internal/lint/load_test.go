@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a temp module from path→contents pairs and
+// returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadTypeError: a package that does not compile must fail the
+// load with an error naming the package, not crash or silently skip.
+func TestLoadTypeError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":    "module example.com/broken\n\ngo 1.22\n",
+		"broken.go": "package broken\n\nfunc f() { undefinedIdentifier() }\n",
+	})
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a package with type errors")
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error does not name the broken package: %v", err)
+	}
+}
+
+// TestLoadParseError: syntactically invalid source is a load error.
+func TestLoadParseError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module example.com/bad\n\ngo 1.22\n",
+		"bad.go":  "package bad\n\nfunc {\n",
+		"ok.go":   "package bad\n",
+		"doc.txt": "not go",
+	})
+	if _, err := Load(dir, "./..."); err == nil {
+		t.Fatal("Load succeeded on unparseable source")
+	}
+}
+
+// TestImporterMissingExportData: the export importer must answer an
+// unresolvable import with a diagnosable error rather than a panic —
+// the failure mode when `go list -export` could not compile a
+// dependency.
+func TestImporterMissingExportData(t *testing.T) {
+	ei := &exportImporter{fset: token.NewFileSet(), exports: map[string]string{}}
+	_, err := ei.Import("no/such/pkg")
+	if err == nil {
+		t.Fatal("Import of unknown package succeeded")
+	}
+	if !strings.Contains(err.Error(), "no/such/pkg") {
+		t.Errorf("error does not name the missing package: %v", err)
+	}
+}
+
+// TestLoadFixtureFailures covers the analysistest loader's own error
+// paths: a directory with no Go files and a missing directory.
+func TestLoadFixtureFailures(t *testing.T) {
+	if _, err := LoadFixture(t.TempDir()); err == nil || !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("empty dir: err = %v, want no-Go-files error", err)
+	}
+	if _, err := LoadFixture(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing dir: want error")
+	}
+}
+
+// TestLoadVendoredReplace: a module whose dependency arrives through a
+// replace directive and a vendor/ tree must load and type-check — the
+// import map go list reports has to be honored when resolving export
+// data.
+func TestLoadVendoredReplace(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module example.com/app\n\ngo 1.22\n\nrequire example.com/dep v0.0.0\n\nreplace example.com/dep => ./dep\n",
+		"app.go":     "package app\n\nimport \"example.com/dep\"\n\n// Answer re-exports the vendored constant.\nconst Answer = dep.V\n",
+		"dep/go.mod": "module example.com/dep\n\ngo 1.22\n",
+		"dep/dep.go": "package dep\n\n// V is the vendored constant.\nconst V = 42\n",
+	})
+	vendor := exec.Command("go", "mod", "vendor")
+	vendor.Dir = dir
+	if out, err := vendor.CombinedOutput(); err != nil {
+		t.Fatalf("go mod vendor: %v\n%s", err, out)
+	}
+	// Remove the replace target: resolution must now go through vendor/.
+	if err := os.RemoveAll(filepath.Join(dir, "dep")); err != nil {
+		t.Fatal(err)
+	}
+
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.com/app" {
+		t.Fatalf("loaded %d packages (%v), want just example.com/app", len(pkgs), pkgs)
+	}
+	imported := false
+	for _, imp := range pkgs[0].Types.Imports() {
+		if imp.Path() == "example.com/dep" {
+			imported = true
+		}
+	}
+	if !imported {
+		t.Error("vendored dependency missing from the type-checked import set")
+	}
+}

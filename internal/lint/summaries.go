@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Program is the whole-repo view the interprocedural analyzers run
+// on: every loaded package, the call graph over them, and one taint
+// Summary per function, computed bottom-up over the call graph's
+// strongly connected components so each function is analyzed once with
+// all of its callees' summaries in hand (members of a cycle iterate to
+// a fixpoint). Findings discovered while summarizing are attributed to
+// the package they occur in and emitted when that package's dettaint
+// pass runs, so suppression comments and fixture want-directives see
+// them like any other diagnostic.
+type Program struct {
+	Pkgs  []*Package
+	Graph *CallGraph
+
+	summaries   map[string]*Summary
+	methodImpls map[string][]string
+	findings    []programFinding
+	seen        map[string]bool
+}
+
+// maxSCCIterations bounds fixpoint iteration inside one recursive
+// cycle; taint sets only grow, so convergence is fast in practice.
+const maxSCCIterations = 8
+
+// NewProgram builds the call graph and computes every function's
+// summary in one bottom-up SCC pass.
+func NewProgram(pkgs []*Package) *Program {
+	graph := buildCallGraph(pkgs)
+	prog := &Program{
+		Pkgs:        pkgs,
+		Graph:       graph,
+		summaries:   map[string]*Summary{},
+		seen:        map[string]bool{},
+		methodImpls: graph.methodImpls,
+	}
+
+	for _, comp := range prog.Graph.sccs() {
+		if len(comp) == 1 {
+			prog.summaries[comp[0].Key] = analyzeFunc(prog, comp[0])
+			continue
+		}
+		// Cycle: iterate the whole component until summaries stabilize.
+		for iter := 0; iter < maxSCCIterations; iter++ {
+			changed := false
+			for _, node := range comp {
+				before := ""
+				if s := prog.summaries[node.Key]; s != nil {
+					before = s.fingerprint()
+				}
+				next := analyzeFunc(prog, node)
+				if next.fingerprint() != before {
+					changed = true
+				}
+				prog.summaries[node.Key] = next
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	sort.Slice(prog.findings, func(i, j int) bool {
+		a, b := prog.findings[i], prog.findings[j]
+		if a.pkgPath != b.pkgPath {
+			return a.pkgPath < b.pkgPath
+		}
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		return a.msg < b.msg
+	})
+	return prog
+}
+
+// report records one dettaint finding, deduplicating across fixpoint
+// iterations and re-analysis.
+func (prog *Program) report(pkg *Package, pos token.Pos, format string, args ...any) {
+	f := programFinding{pkgPath: pkg.Path, pos: pos, msg: fmt.Sprintf(format, args...)}
+	k := fmt.Sprintf("%s|%d|%s", f.pkgPath, f.pos, f.msg)
+	if prog.seen[k] {
+		return
+	}
+	prog.seen[k] = true
+	prog.findings = append(prog.findings, f)
+}
+
+// findingsFor returns the dettaint findings recorded for one package.
+func (prog *Program) findingsFor(path string) []programFinding {
+	var out []programFinding
+	for _, f := range prog.findings {
+		if f.pkgPath == path {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Summary returns the computed summary for a function key, for tests
+// and debugging ("(*iobt/internal/trust.Ledger).Snapshot").
+func (prog *Program) Summary(key string) *Summary { return prog.summaries[key] }
+
+// Analyze runs the analyzers over every package in the program and
+// returns all findings globally ordered by file, line, column, and
+// analyzer — stable for CI diffing.
+func (prog *Program) Analyze(as []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		out = append(out, prog.analyzePackage(pkg, as)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// AnalyzeMatching is Analyze restricted to packages whose import path
+// matches the glob (see MatchPackage); the program-wide call graph and
+// summaries still span every loaded package, so cross-package taint
+// into a filtered package is not lost.
+func (prog *Program) AnalyzeMatching(as []*Analyzer, glob string) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if MatchPackage(glob, pkg.Path) {
+			out = append(out, prog.analyzePackage(pkg, as)...)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// MatchPackage reports whether a package import path matches a
+// path-glob: a literal path, a "..." suffix for subtree matches
+// ("iobt/internal/..."), or "*" wildcards within one path segment
+// ("iobt/*/mesh"). An empty glob matches everything.
+func MatchPackage(glob, path string) bool {
+	if glob == "" || glob == "..." {
+		return true
+	}
+	if prefix, isTree := strings.CutSuffix(glob, "/..."); isTree {
+		return path == prefix || strings.HasPrefix(path, prefix+"/")
+	}
+	gs := strings.Split(glob, "/")
+	ps := strings.Split(path, "/")
+	if len(gs) != len(ps) {
+		return false
+	}
+	for i := range gs {
+		if !segMatch(gs[i], ps[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// segMatch matches one path segment against a pattern where '*'
+// matches any run of characters.
+func segMatch(pat, s string) bool {
+	parts := strings.Split(pat, "*")
+	if len(parts) == 1 {
+		return pat == s
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for _, p := range parts[1 : len(parts)-1] {
+		i := strings.Index(s, p)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(p):]
+	}
+	return strings.HasSuffix(s, parts[len(parts)-1])
+}

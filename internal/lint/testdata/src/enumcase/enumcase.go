@@ -1,0 +1,108 @@
+// Package enumcase exercises the enum-exhaustiveness analyzer: a
+// switch over a domain enum (named integer type with >= 2 package
+// constants) must either cover every constant or carry an explicit
+// default. The enum-mutation guard test appends a constant at the
+// marker below and asserts the fully-covered switch goes stale.
+package enumcase
+
+type Phase int
+
+const (
+	PhaseIdle Phase = iota
+	PhaseMarch
+	PhaseEngage
+	PhaseWithdraw
+	// enum-mutation-point: the guard test inserts a new constant here.
+)
+
+// PhaseHold aliases PhaseIdle's value; covering either name covers
+// the value.
+const PhaseHold = PhaseIdle
+
+type tiny bool // not an enum: non-integer underlying type
+
+const tinyOn tiny = true
+
+func incomplete(p Phase) string {
+	switch p { // want `switch over enumcase.Phase is missing PhaseEngage, PhaseWithdraw`
+	case PhaseIdle:
+		return "idle"
+	case PhaseMarch:
+		return "march"
+	}
+	return ""
+}
+
+// covered lists every constant value — the mutation guard breaks this
+// one by adding a new constant.
+func covered(p Phase) string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseMarch:
+		return "march"
+	case PhaseEngage:
+		return "engage"
+	case PhaseWithdraw:
+		return "withdraw"
+	}
+	return ""
+}
+
+// coveredByAlias covers PhaseIdle's value through the alias name.
+func coveredByAlias(p Phase) string {
+	switch p {
+	case PhaseHold:
+		return "hold"
+	case PhaseMarch, PhaseEngage, PhaseWithdraw:
+		return "moving"
+	}
+	return ""
+}
+
+// defaulted opts out with an explicit default.
+func defaulted(p Phase) string {
+	switch p {
+	case PhaseEngage:
+		return "engage"
+	default:
+		return "other"
+	}
+}
+
+// nonConstant compares against a runtime value: not an
+// exhaustiveness switch.
+func nonConstant(p, q Phase) bool {
+	switch p {
+	case q:
+		return true
+	}
+	return false
+}
+
+// tagless switches are ordinary if-chains, never checked.
+func tagless(p Phase) bool {
+	switch {
+	case p == PhaseIdle:
+		return true
+	}
+	return false
+}
+
+func notAnEnum(v tiny) bool {
+	switch v {
+	case tinyOn:
+		return true
+	}
+	return false
+}
+
+// allowed demonstrates the reasoned waiver.
+func allowed(p Phase) bool {
+	//iobt:allow enumcase fixture: only the terminal phase matters to this predicate
+	switch p {
+	case PhaseWithdraw:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+// Package errdrop exercises error discipline on the recovery-critical
+// paths: Restore([]byte) error (the Snapshotter contract), the
+// checkpoint coordinator's RestoreLast, and mesh delivery calls must
+// not have their errors discarded.
+package errdrop
+
+import "iobt/internal/mesh"
+
+type store struct{}
+
+// Restore matches the Snapshotter contract by shape alone; errdrop
+// monitors it regardless of receiver type.
+func (s *store) Restore(data []byte) error { return nil }
+
+// Save has a different shape: not monitored.
+func (s *store) Save(data []byte) error { return nil }
+
+func drops(s *store, n *mesh.Network, m mesh.Message) {
+	s.Restore(nil)       // want `result of store.Restore is discarded`
+	_ = s.Restore(nil)   // want `error from store.Restore is assigned to _`
+	_ = n.Send(m)        // want `error from Network.Send is assigned to _`
+	_ = n.SendDirect(m)  // want `error from Network.SendDirect is assigned to _`
+	go s.Restore(nil)    // want `go store.Restore discards the returned error`
+	defer s.Restore(nil) // want `defer store.Restore discards the returned error`
+}
+
+func parallelBlank(s *store, n *mesh.Network, m mesh.Message) {
+	// Parallel assignment: only the blanked monitored call is flagged.
+	_, a := s.Restore(nil), n.Send(m) // want `error from store.Restore is assigned to _`
+	_ = a
+}
+
+func handled(s *store, n *mesh.Network, m mesh.Message) error {
+	if err := s.Restore(nil); err != nil {
+		return err
+	}
+	// Unmonitored calls may be discarded freely.
+	_ = s.Save(nil)
+	return n.Send(m)
+}
+
+func waived(n *mesh.Network, m mesh.Message) {
+	//iobt:allow errdrop fixture: probe traffic whose refusal is the asserted outcome
+	_ = n.Send(m)
+}

@@ -37,6 +37,16 @@ func lineWorld(t *testing.T, n int, spacing float64) (*sim.Engine, *asset.Popula
 	return eng, pop, net
 }
 
+// mustSend fails the test if the network refuses the message outright
+// (dead source, no route). Per-hop loss is still possible afterwards —
+// tests that exercise loss assert on delivery counts, not on Send.
+func mustSend(t *testing.T, net *Network, msg Message) {
+	t.Helper()
+	if err := net.Send(msg); err != nil {
+		t.Fatalf("send %d->%d: %v", msg.From, msg.To, err)
+	}
+}
+
 func TestLineTopology(t *testing.T) {
 	_, _, net := lineWorld(t, 5, 100)
 	if got := len(net.Neighbors(0)); got != 1 {
@@ -185,7 +195,7 @@ func TestLossyLinkDropsSometimes(t *testing.T) {
 	net.RegisterHandler(1, func(Message) { delivered++ })
 	const total = 200
 	for i := 0; i < total; i++ {
-		_ = net.Send(Message{From: 0, To: 1, Size: 10})
+		mustSend(t, net, Message{From: 0, To: 1, Size: 10})
 	}
 	_ = eng.Run(time.Hour)
 	if delivered == 0 || delivered == total {
@@ -229,7 +239,7 @@ func TestSendDirectRequiresLink(t *testing.T) {
 func TestTransmitEnergyDrain(t *testing.T) {
 	eng, pop, net := lineWorld(t, 2, 100)
 	before := pop.Get(0).Energy
-	_ = net.Send(Message{From: 0, To: 1, Size: 1e6})
+	mustSend(t, net, Message{From: 0, To: 1, Size: 1e6})
 	_ = eng.Run(time.Minute)
 	if pop.Get(0).Energy >= before {
 		t.Error("transmission did not drain energy")
@@ -250,8 +260,8 @@ func TestQueueingDelaysLargeTransfers(t *testing.T) {
 	})
 	// Two back-to-back large messages: the second must queue behind the
 	// first at the sender.
-	_ = net.Send(Message{From: 0, To: 1, Size: 50000})
-	_ = net.Send(Message{From: 0, To: 1, Size: 50000})
+	mustSend(t, net, Message{From: 0, To: 1, Size: 50000})
+	mustSend(t, net, Message{From: 0, To: 1, Size: 50000})
 	_ = eng.Run(time.Hour)
 	if count != 2 {
 		t.Fatalf("delivered %d, want 2", count)
@@ -420,7 +430,7 @@ func TestUnregisterHandler(t *testing.T) {
 	called := false
 	net.RegisterHandler(1, func(Message) { called = true })
 	net.UnregisterHandler(1)
-	_ = net.Send(Message{From: 0, To: 1, Size: 10})
+	mustSend(t, net, Message{From: 0, To: 1, Size: 10})
 	_ = eng.Run(time.Minute)
 	if called {
 		t.Error("handler called after unregister")
@@ -432,8 +442,8 @@ func TestBacklogObservable(t *testing.T) {
 	if net.Backlog(0) != 0 {
 		t.Error("fresh node has backlog")
 	}
-	_ = net.Send(Message{From: 0, To: 1, Size: 100000})
-	_ = net.Send(Message{From: 0, To: 1, Size: 100000})
+	mustSend(t, net, Message{From: 0, To: 1, Size: 100000})
+	mustSend(t, net, Message{From: 0, To: 1, Size: 100000})
 	if net.Backlog(0) <= 0 {
 		t.Error("backlog not visible after queued sends")
 	}

@@ -110,7 +110,7 @@ func TestReliablePassesPlainTraffic(t *testing.T) {
 	got := ""
 	r.Register(1, func(m Message) { got = m.Kind })
 	// A plain (non-ARQ) message sent directly still reaches the handler.
-	_ = net.Send(Message{From: 0, To: 1, Size: 10, Kind: "plain"})
+	mustSend(t, net, Message{From: 0, To: 1, Size: 10, Kind: "plain"})
 	_ = eng.Run(time.Minute)
 	if got != "plain" {
 		t.Errorf("plain traffic kind = %q", got)

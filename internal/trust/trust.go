@@ -186,9 +186,19 @@ func (l *Ledger) Reset() {
 // the prior, summed over all nodes. The fault harness samples it to
 // measure the stale-trust window after a failover: how long the
 // successor post operates on less evidence than the lost post held.
+// Float addition is not associative, so the sum runs over ids in
+// sorted order (the Snapshot idiom): a map-order sum differs in the
+// last bits between same-seed runs, and the harness feeds this value
+// into scheduling decisions where those bits matter.
 func (l *Ledger) EvidenceTotal() float64 {
+	ids := make([]asset.ID, 0, len(l.records))
+	for id := range l.records {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	total := 0.0
-	for _, r := range l.records {
+	for _, id := range ids {
+		r := l.records[id]
 		total += (r.alpha - l.priorAlpha) + (r.beta - l.priorBeta)
 	}
 	return total

@@ -3,6 +3,8 @@ package trust
 import (
 	"testing"
 	"testing/quick"
+
+	"iobt/internal/asset"
 )
 
 func TestPriorScore(t *testing.T) {
@@ -162,5 +164,36 @@ func TestDecayInvariant(t *testing.T) {
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestEvidenceTotalDeterministic locks in the iobtlint dettaint fix:
+// the evidence sum must be a pure function of ledger content. Float
+// addition is not associative, so the old map-order loop returned a
+// value whose last bits depended on that run's map iteration order —
+// after Decay makes the records non-dyadic, repeated calls could
+// disagree. The sum now runs over sorted ids and must equal the
+// explicit ascending-ID reference bit-for-bit, every call.
+func TestEvidenceTotalDeterministic(t *testing.T) {
+	l := NewLedger()
+	const n = 64
+	for i := 0; i < n; i++ {
+		id := asset.ID(i)
+		for k := 0; k <= i; k++ {
+			l.Observe(id, EvMission, k%3 == 0)
+			l.Observe(id, EvAnomaly, k%2 == 0)
+		}
+	}
+	l.Decay(0.977) // non-dyadic records: addition order now matters
+
+	want := 0.0
+	for i := 0; i < n; i++ {
+		r := l.records[asset.ID(i)]
+		want += (r.alpha - l.priorAlpha) + (r.beta - l.priorBeta)
+	}
+	for trial := 0; trial < 50; trial++ {
+		if got := l.EvidenceTotal(); got != want {
+			t.Fatalf("trial %d: EvidenceTotal = %v, want sorted-order sum %v", trial, got, want)
+		}
 	}
 }

@@ -151,14 +151,24 @@ func RestoreTransparency(seed int64) error {
 	base.Plan = nil
 
 	plain := Run(base)
+	// A probe that silently fails makes the transparency check vacuous:
+	// if the restore never happened, fingerprint equality proves
+	// nothing. (This code once early-returned on TakeNow's non-nil
+	// *Checckpoint result, so the restore never ran — errdrop caught
+	// the discarded RestoreLast error that hid it.) Capture the error
+	// and report it as a violation.
+	var probeErr error
 	probed := runScenario(base, nil, func(w *core.World, r *core.Runtime) {
 		w.Eng.ScheduleAt(base.Horizon/2, "verify.restore-probe", func() {
-			if err := r.Checkpoints().TakeNow(); err != nil {
-				return
+			r.Checkpoints().TakeNow()
+			if err := r.Checkpoints().RestoreLast(); err != nil {
+				probeErr = fmt.Errorf("mid-run restore failed: %w (seed %d)", err, seed)
 			}
-			r.Checkpoints().RestoreLast()
 		})
 	})
+	if probeErr != nil {
+		return probeErr
+	}
 	if plain.Skipped || probed.Skipped {
 		return nil
 	}
