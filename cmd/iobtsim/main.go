@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,11 +31,31 @@ import (
 	"iobt/internal/verify"
 )
 
+// errVerification marks a run that completed but failed verification
+// (-verify violations or a -replay-verify divergence). main maps it to
+// a distinct exit code so harnesses can tell "the mission is wrong"
+// from "the tool could not run".
+var errVerification = errors.New("verification failed")
+
+// testExtraInvariants, when set by tests, returns additional invariants
+// armed alongside the mission set — the only way to force a violation
+// deterministically without breaking the simulation itself.
+var testExtraInvariants func() []verify.Invariant
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "iobtsim:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps a run error to the process exit status: 2 for a
+// verification failure, 1 for everything else.
+func exitCode(err error) int {
+	if errors.Is(err, errVerification) {
+		return 2
+	}
+	return 1
 }
 
 func run(args []string) error {
@@ -154,6 +175,10 @@ func run(args []string) error {
 		// ticker does. -verify turns any violation into a nonzero exit.
 		reg := verify.NewRegistry()
 		reg.Add(verify.MissionInvariants(w, r)...)
+		if testExtraInvariants != nil {
+			//iobt:allow metricreg test-only hook, nil outside the test binary; the mission set above registers unconditionally
+			reg.Add(testExtraInvariants()...)
+		}
 		reg.SetClock(w.Eng.Now)
 		if *jam {
 			w.Jam.Add(attack.Jammer{
@@ -190,6 +215,10 @@ func run(args []string) error {
 			if rep, err = h.Run(horizon); err != nil {
 				return err
 			}
+			// Final sweep at the horizon: the harness checks invariants on
+			// its periodic tick, so a violation introduced by the events
+			// after the last tick would otherwise escape -verify entirely.
+			reg.CheckNow(w.Eng.Now())
 		} else {
 			if *verif {
 				reg.Arm(w.Eng, time.Second)
@@ -204,7 +233,7 @@ func run(args []string) error {
 		summary := reg.Summarize()
 		if quiet {
 			if *verif && !reg.OK() {
-				return fmt.Errorf("%s", summary)
+				return fmt.Errorf("%w: %s", errVerification, summary)
 			}
 			return nil
 		}
@@ -236,7 +265,7 @@ func run(args []string) error {
 		}
 		fmt.Printf("  %s\n", summary)
 		if *verif && !reg.OK() {
-			return fmt.Errorf("%s", summary)
+			return fmt.Errorf("%w: %s", errVerification, summary)
 		}
 		return nil
 	}
@@ -259,7 +288,7 @@ func run(args []string) error {
 			return runErr
 		}
 		if div != nil {
-			return fmt.Errorf("replay verification FAILED: %s", div.Error())
+			return fmt.Errorf("%w: replay diverged: %s", errVerification, div.Error())
 		}
 		fmt.Println("\nreplay verification OK: two runs produced byte-identical decision journals")
 		return nil

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"iobt/internal/verify"
 )
 
 func TestRunBadArgs(t *testing.T) {
@@ -47,5 +51,52 @@ func TestRunWithSpecFile(t *testing.T) {
 	_ = os.WriteFile(bad, []byte("cover 40%"), 0o600)
 	if err := run([]string{"-spec", bad}); err == nil {
 		t.Fatal("malformed spec accepted")
+	}
+}
+
+// TestVerifyViolationExitBehavior pins the -verify exit contract: an
+// invariant violation must surface as errVerification and exit code 2 —
+// in the plain path and in the fault-plan path, where the harness
+// drives the check cadence — while the same violation without -verify
+// is reported but does not fail the run.
+func TestVerifyViolationExitBehavior(t *testing.T) {
+	calls := 0
+	testExtraInvariants = func() []verify.Invariant {
+		return []verify.Invariant{{Name: "test.always-fails", Check: func() error {
+			calls++
+			return fmt.Errorf("forced violation (check %d)", calls)
+		}}}
+	}
+	defer func() { testExtraInvariants = nil }()
+
+	base := []string{"-minutes", "1", "-assets", "200", "-rate", "10"}
+
+	// Without -verify: reported, but exit 0.
+	if err := run(base); err != nil {
+		t.Fatalf("violation without -verify failed the run: %v", err)
+	}
+
+	// Plain path with -verify: errVerification, exit code 2.
+	err := run(append(base, "-verify"))
+	if !errors.Is(err, errVerification) {
+		t.Fatalf("plain -verify error = %v, want errVerification", err)
+	}
+	if exitCode(err) != 2 {
+		t.Errorf("exit code = %d, want 2", exitCode(err))
+	}
+
+	// Fault-plan path with -verify: the harness cadence (plus the final
+	// horizon sweep) must reach the same non-zero exit.
+	err = run(append(base, "-faults", "standard", "-verify"))
+	if !errors.Is(err, errVerification) {
+		t.Fatalf("fault-plan -verify error = %v, want errVerification", err)
+	}
+	if exitCode(err) != 2 {
+		t.Errorf("fault-plan exit code = %d, want 2", exitCode(err))
+	}
+
+	// Non-verification failures keep exit code 1.
+	if got := exitCode(errors.New("boom")); got != 1 {
+		t.Errorf("generic error exit code = %d, want 1", got)
 	}
 }

@@ -177,6 +177,19 @@ func (c *Coordinator) TakeNow() *Checkpoint {
 	return ck
 }
 
+// Capture encodes every registered component exactly like TakeNow but
+// with no side effects: the sequence counter, the restore point, the
+// counters, and the OnCheckpoint observer are all untouched. The
+// mission service uses it to compare live state against a persisted
+// snapshot without perturbing the run being compared.
+func (c *Coordinator) Capture() *Checkpoint {
+	ck := &Checkpoint{Seq: c.seq, At: c.eng.Now()}
+	for _, s := range c.comps {
+		ck.Sections = append(ck.Sections, Section{Name: s.SnapshotName(), Data: s.Snapshot()})
+	}
+	return ck
+}
+
 // Last returns the most recent checkpoint, nil before the first cut.
 func (c *Coordinator) Last() *Checkpoint { return c.last }
 
@@ -196,14 +209,32 @@ func (c *Coordinator) RestoreLast() error {
 	if c.last == nil {
 		return fmt.Errorf("checkpoint: no checkpoint to restore")
 	}
+	return c.RestoreCheckpoint(c.last, nil)
+}
+
+// RestoreCheckpoint replays an arbitrary checkpoint — typically one
+// recovered from a journal file rather than taken this run — into the
+// registered components, in registration order. include, when non-nil,
+// filters by section name; a false return skips that component (the
+// mission service skips the ARQ window, whose Restore deliberately
+// requeues in-flight traffic — failover semantics, not replay
+// semantics). Components without a matching section are skipped.
+func (c *Coordinator) RestoreCheckpoint(ck *Checkpoint, include func(name string) bool) error {
+	if ck == nil {
+		return fmt.Errorf("checkpoint: no checkpoint to restore")
+	}
 	for _, s := range c.comps {
-		data := c.last.Section(s.SnapshotName())
+		name := s.SnapshotName()
+		if include != nil && !include(name) {
+			continue
+		}
+		data := ck.Section(name)
 		if data == nil {
 			// Component registered after the cut: nothing to restore.
 			continue
 		}
 		if err := s.Restore(data); err != nil {
-			return fmt.Errorf("checkpoint: restore %s: %w", s.SnapshotName(), err)
+			return fmt.Errorf("checkpoint: restore %s: %w", name, err)
 		}
 	}
 	c.Restores.Inc()

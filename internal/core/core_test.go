@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -375,5 +377,30 @@ func TestReliableOrdersImproveHierarchySuccess(t *testing.T) {
 	}
 	if arqLat < plainLat {
 		t.Logf("note: ARQ latency %.2fs below plain %.2fs (plain only counts survivors)", arqLat, plainLat)
+	}
+}
+
+// TestRunContextCancellation pins the cooperative-cancellation contract
+// the mission service relies on: a live context behaves like Run, a
+// cancelled one aborts between events and surfaces its cause.
+func TestRunContextCancellation(t *testing.T) {
+	w := testWorld(t, 11)
+	defer w.Stop()
+	if err := w.RunContext(context.Background(), time.Second); err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if w.Eng.Now() != time.Second {
+		t.Errorf("clock = %v after RunContext, want 1s", w.Eng.Now())
+	}
+
+	budget := errors.New("budget exhausted")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(budget)
+	err := w.RunContext(ctx, time.Minute)
+	if !errors.Is(err, budget) {
+		t.Fatalf("cancelled RunContext error = %v, want the cancellation cause", err)
+	}
+	if w.Eng.Now() > 2*time.Second {
+		t.Errorf("cancelled run advanced the clock to %v", w.Eng.Now())
 	}
 }

@@ -168,6 +168,7 @@ func All() []Experiment {
 		{"E13", "multi-target tracking continuity", E13Tracking},
 		{"E14", "recovery time vs fault intensity", E14Recovery},
 		{"E15", "command-post failover: none vs cold vs warm", E15Failover},
+		{"E16", "mission service under client flood with worker crashes", E16Service},
 	}
 }
 

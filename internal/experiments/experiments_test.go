@@ -17,8 +17,8 @@ func parseF(t *testing.T, s string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -310,7 +310,7 @@ func TestRegistryHasE13(t *testing.T) {
 	if _, ok := Lookup("E13"); !ok {
 		t.Error("E13 missing from registry")
 	}
-	if len(All()) != 15 {
+	if len(All()) != 16 {
 		t.Errorf("registry size = %d", len(All()))
 	}
 }

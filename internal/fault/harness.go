@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -129,6 +130,16 @@ func (r *Report) String() string {
 // Run injects the plan, drives the engine for horizon, and returns the
 // recovery report. The mission runtime must already be started.
 func (h *Harness) Run(horizon time.Duration) (*Report, error) {
+	return h.RunContext(context.Background(), horizon)
+}
+
+// RunContext is Run with cooperative cancellation: a cancelled ctx
+// aborts the engine between events, the harness ticker is stopped
+// before returning (nothing the harness armed outlives the call), and
+// the cancellation cause is surfaced as the error. A mission worker
+// that is cancelled mid-run therefore unwinds completely instead of
+// leaking its recovery machinery.
+func (h *Harness) RunContext(ctx context.Context, horizon time.Duration) (*Report, error) {
 	if h.CheckEvery <= 0 {
 		h.CheckEvery = time.Second
 	}
@@ -190,7 +201,7 @@ func (h *Harness) Run(horizon time.Duration) (*Report, error) {
 			}
 		}
 	})
-	err := h.T.Eng.Run(horizon)
+	err := h.T.Eng.RunContext(ctx, horizon)
 	tick.Stop()
 	if err != nil {
 		return nil, err

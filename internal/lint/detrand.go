@@ -25,6 +25,12 @@ var DetRand = &Analyzer{
 // the process entry points that never run inside the simulated world.
 var detrandExemptPrefixes = []string{
 	"iobt/internal/sim",
+	// The mission service is process-level orchestration AROUND simulated
+	// worlds, not code inside them: its watchdogs, restart backoff, and
+	// latency metrics are genuinely about host time. Everything it runs
+	// inside an engine stays deterministic (and is byte-verified against
+	// persisted checkpoints on recovery).
+	"iobt/internal/service",
 	"iobt/cmd/",
 	"iobt/examples/",
 }

@@ -1,0 +1,235 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"iobt/internal/verify"
+)
+
+// The synthetic client flood: concurrent clients slam the admission
+// queue with small missions while the chaos injector crashes workers
+// mid-flight. It measures what the service promises under pressure —
+// sustained missions/sec, tail submit-to-first-event latency, and how
+// long a crashed mission takes to be running again — and is the engine
+// behind experiment E16 and the CI soak job.
+
+// FloodConfig shapes one flood run.
+type FloodConfig struct {
+	// Missions is the total missions to push through (default 24).
+	Missions int
+	// Clients is the number of concurrent submitters (default 4).
+	Clients int
+	// Service configures the service under test.
+	Service Config
+	// BaseSeed seeds mission i with BaseSeed+i.
+	BaseSeed int64
+	// Horizon is each mission's virtual duration (default 30s).
+	Horizon time.Duration
+	// Rate is each mission's incident load (default 10/min).
+	Rate float64
+	// Assets sizes each mission's population (default 90).
+	Assets int
+	// DrainTimeout bounds the post-flood drain (default 5m).
+	DrainTimeout time.Duration
+}
+
+// FloodReport is the outcome of one flood run.
+type FloodReport struct {
+	Missions    int     `json:"missions"`
+	Workers     int     `json:"workers"`
+	Submitted   int64   `json:"submitted"`
+	Admitted    int64   `json:"admitted"`
+	Retried     int64   `json:"retried_submissions"`
+	Completed   int64   `json:"completed"`
+	Degraded    int64   `json:"degraded"`
+	Failed      int64   `json:"failed"`
+	Quarantined int64   `json:"quarantined"`
+	Crashes     int64   `json:"crashes"`
+	Restarts    int64   `json:"restarts"`
+	Recoveries  int64   `json:"recoveries"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	// MissionsPerSec is terminal missions over wall elapsed time.
+	MissionsPerSec float64 `json:"missions_per_sec"`
+	// P50/P99FirstEventMs are submit-to-first-event latency percentiles.
+	P50FirstEventMs float64 `json:"p50_first_event_ms"`
+	P99FirstEventMs float64 `json:"p99_first_event_ms"`
+	// MeanRecoveryMs / MaxRecoveryMs cover crash-to-first-recovered-event
+	// gaps (0 when nothing crashed).
+	MeanRecoveryMs float64 `json:"mean_recovery_ms"`
+	MaxRecoveryMs  float64 `json:"max_recovery_ms"`
+	// Violations counts missions that ended degraded or worse.
+	Violations int `json:"violations"`
+	// Summary merges the invariant audits of every mission.
+	Summary verify.Summary `json:"summary"`
+}
+
+func (c FloodConfig) withDefaults() FloodConfig {
+	if c.Missions <= 0 {
+		c.Missions = 24
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 30 * time.Second
+	}
+	if c.Rate <= 0 {
+		c.Rate = 10
+	}
+	if c.Assets <= 0 {
+		c.Assets = 90
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// floodScenario builds mission i's scenario: small open-terrain worlds,
+// alternating command models, reliable orders on every fourth mission so
+// the ARQ checkpoint section is exercised too.
+func floodScenario(cfg FloodConfig, i int) verify.Scenario {
+	sc := verify.Scenario{
+		Seed:    cfg.BaseSeed + int64(i),
+		Assets:  cfg.Assets,
+		Size:    600,
+		Terrain: "open",
+		Command: "intent",
+		Rate:    cfg.Rate,
+		Horizon: cfg.Horizon,
+	}
+	if i%2 == 1 {
+		sc.Command = "hierarchy"
+		sc.Reliable = i%4 == 1
+	}
+	return sc
+}
+
+// Flood runs the synthetic client flood and returns its report.
+func Flood(cfg FloodConfig) (*FloodReport, error) {
+	cfg = cfg.withDefaults()
+	svc := New(cfg.Service)
+	defer svc.Close()
+
+	start := time.Now()
+	work := make(chan verify.Scenario)
+	go func() {
+		defer close(work)
+		for i := 0; i < cfg.Missions; i++ {
+			work <- floodScenario(cfg, i)
+		}
+	}()
+
+	var mu sync.Mutex
+	var retried int64
+	var submitErr error
+	var wg sync.WaitGroup
+	wg.Add(cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		go func() {
+			defer wg.Done()
+			for sc := range work {
+				// A real client retries on 429 backpressure; count the
+				// retries so the report shows the queue actually pushed back.
+				for {
+					_, err := svc.SubmitScenario(sc)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrQueueFull) {
+						mu.Lock()
+						if submitErr == nil {
+							submitErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					mu.Lock()
+					retried++
+					mu.Unlock()
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if submitErr != nil {
+		return nil, fmt.Errorf("flood: submit: %w", submitErr)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		return nil, fmt.Errorf("flood: drain: %w", err)
+	}
+
+	elapsed := time.Since(start)
+	tel := svc.Telemetry()
+	rep := &FloodReport{
+		Missions:    cfg.Missions,
+		Workers:     svc.cfg.Workers,
+		Submitted:   tel.Submitted,
+		Admitted:    tel.Admitted,
+		Retried:     retried,
+		Completed:   tel.Completed,
+		Degraded:    tel.Degraded,
+		Failed:      tel.Failed,
+		Quarantined: tel.Quarantined,
+		Crashes:     tel.Crashes,
+		Restarts:    tel.Restarts,
+		Recoveries:  tel.Recoveries,
+		ElapsedSec:  elapsed.Seconds(),
+	}
+	terminal := tel.Completed + tel.Degraded + tel.Failed + tel.Quarantined
+	if sec := elapsed.Seconds(); sec > 0 {
+		rep.MissionsPerSec = float64(terminal) / sec
+	}
+
+	var firstEvent []float64
+	var recoveries []float64
+	for _, m := range svc.Missions() {
+		if d := m.FirstEventLatency(); d > 0 {
+			firstEvent = append(firstEvent, float64(d)/float64(time.Millisecond))
+		}
+		recoveries = append(recoveries, m.RecoveryTimes()...)
+		if m.State() == StateDegraded {
+			rep.Violations++
+		}
+		rep.Summary.Merge(m.Summary())
+	}
+	rep.P50FirstEventMs = percentile(firstEvent, 0.50)
+	rep.P99FirstEventMs = percentile(firstEvent, 0.99)
+	if len(recoveries) > 0 {
+		sum, maxv := 0.0, 0.0
+		for _, v := range recoveries {
+			sum += v
+			maxv = math.Max(maxv, v)
+		}
+		rep.MeanRecoveryMs = sum / float64(len(recoveries))
+		rep.MaxRecoveryMs = maxv
+	}
+	return rep, nil
+}
+
+// percentile returns the p-quantile (nearest-rank) of vs, 0 when empty.
+func percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

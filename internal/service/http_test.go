@@ -1,0 +1,193 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func postScenario(t *testing.T, srv *httptest.Server, body string) (*http.Response, MissionView) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/missions", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /missions: %v", err)
+	}
+	defer resp.Body.Close()
+	var v MissionView
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode submit response: %v", err)
+		}
+	}
+	return resp, v
+}
+
+func TestHTTPSubmitStatusTelemetry(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp, v := postScenario(t, srv, smallScenario(3101).String())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	if v.ID == "" || v.State == "" {
+		t.Fatalf("submit response missing id/state: %+v", v)
+	}
+
+	// Malformed scenario → 400.
+	resp, _ = postScenario(t, srv, "scenario v999\nnope")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad scenario status = %d, want 400", resp.StatusCode)
+	}
+
+	// Poll the mission to terminal state over HTTP.
+	deadline := time.Now().Add(2 * time.Minute)
+	var got MissionView
+	for {
+		r, err := http.Get(srv.URL + "/missions/" + v.ID)
+		if err != nil {
+			t.Fatalf("GET mission: %v", err)
+		}
+		err = json.NewDecoder(r.Body).Decode(&got)
+		r.Body.Close()
+		if err != nil {
+			t.Fatalf("decode mission: %v", err)
+		}
+		if got.State == StateCompleted.String() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mission never completed over HTTP: %+v", got)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got.Fingerprint == "" || got.JournalDigest == "" {
+		t.Errorf("completed view missing fingerprint/journal digest: %+v", got)
+	}
+
+	// List contains it; telemetry counts it; health is ok.
+	r, err := http.Get(srv.URL + "/missions")
+	if err != nil {
+		t.Fatalf("GET /missions: %v", err)
+	}
+	var list []MissionView
+	if err := json.NewDecoder(r.Body).Decode(&list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	r.Body.Close()
+	if len(list) == 0 {
+		t.Error("mission list empty")
+	}
+
+	r, err = http.Get(srv.URL + "/telemetry")
+	if err != nil {
+		t.Fatalf("GET /telemetry: %v", err)
+	}
+	var tel Telemetry
+	if err := json.NewDecoder(r.Body).Decode(&tel); err != nil {
+		t.Fatalf("decode telemetry: %v", err)
+	}
+	r.Body.Close()
+	if tel.Completed == 0 {
+		t.Errorf("telemetry completed = 0 after a completed mission")
+	}
+
+	var health struct {
+		Status  string `json:"status"`
+		Queued  int64  `json:"queued"`
+		Running int64  `json:"running"`
+	}
+	r, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&health); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	r.Body.Close()
+	if health.Status != "ok" {
+		t.Errorf("healthz status = %q, want ok", health.Status)
+	}
+
+	// 404 for unknown missions.
+	r, err = http.Get(srv.URL + "/missions/m-999999")
+	if err != nil {
+		t.Fatalf("GET unknown: %v", err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown mission status = %d, want 404", r.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestHTTPBackpressureAndDrainCodes(t *testing.T) {
+	// Wedge the single worker with stall chaos (no stall watchdog, no
+	// restarts) so admitted missions pile up behind it and the bounded
+	// queue pushes back over HTTP.
+	svc := New(Config{
+		Workers:     1,
+		QueueDepth:  1,
+		StallAfter:  -1,
+		MaxRestarts: -1,
+		Chaos:       ChaosConfig{CrashProb: 1, AtFrac: 0.3, Stall: true},
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Flood until a 429 appears.
+	got429 := false
+	for i := 0; i < 50 && !got429; i++ {
+		resp, _ := postScenario(t, srv, smallScenario(int64(3200+i)).String())
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			got429 = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+		case http.StatusAccepted:
+		default:
+			t.Fatalf("unexpected submit status %d", resp.StatusCode)
+		}
+	}
+	if !got429 {
+		t.Fatal("bounded queue never returned 429 over HTTP")
+	}
+
+	// Draining → 503. The short drain deadline also unwedges the stalled
+	// missions by cancelling them.
+	var drainDone sync.WaitGroup
+	drainDone.Add(1)
+	go func() {
+		defer drainDone.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = svc.Drain(ctx)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if svc.Draining() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service never started draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, _ := postScenario(t, srv, smallScenario(3301).String())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining submit status = %d, want 503", resp.StatusCode)
+	}
+	drainDone.Wait()
+}

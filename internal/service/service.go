@@ -1,0 +1,665 @@
+// Package service is the iobtd mission service: a supervised runner for
+// concurrent simulated missions. Each submitted scenario (the verifier's
+// .scn reproducer format) runs in a worker from a bounded pool behind
+// admission control; a per-mission supervisor recovers panics without
+// disturbing neighbors, a watchdog detects stalled missions on the wall
+// clock, and crashed or stalled missions restart from their latest
+// persisted checkpoint — with exponential backoff and a quarantine bound
+// so a crash loop cannot starve the pool. Recovery is verified, not
+// assumed: the replayed state is byte-compared against the persisted cut
+// before the mission continues (see runner.go).
+//
+// The paper's IoBT must "survive in the presence of failures, attacks
+// and compromises"; this package applies that demand to the mission
+// infrastructure itself, the layer the simulations run on.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iobt/internal/checkpoint"
+	"iobt/internal/sim"
+	"iobt/internal/verify"
+)
+
+// Admission errors. The HTTP layer maps these to 429 and 503.
+var (
+	// ErrQueueFull rejects a submission when the run queue is at depth.
+	ErrQueueFull = errors.New("service: run queue full")
+	// ErrDraining rejects a submission during graceful shutdown.
+	ErrDraining = errors.New("service: draining, not accepting missions")
+)
+
+// Config tunes the service. Zero values take the stated defaults.
+type Config struct {
+	// Workers is the worker-pool size (default 4).
+	Workers int
+	// QueueDepth bounds the admission queue (default 64).
+	QueueDepth int
+	// MaxRestarts bounds supervised restarts per mission before
+	// quarantine (default 3). Negative: no restarts.
+	MaxRestarts int
+	// BackoffBase and BackoffMax shape the exponential restart backoff
+	// (defaults 25ms and 1s); jitter is drawn deterministically from the
+	// mission seed.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// WatchdogEvery is the watchdog scan cadence (default 50ms).
+	WatchdogEvery time.Duration
+	// StallAfter is the wall-clock progress deadline: an attempt whose
+	// engine makes no progress for this long is stalled and restarted
+	// (default 2s; negative disables).
+	StallAfter time.Duration
+	// MaxWall is the per-attempt wall-clock budget (0: unlimited).
+	MaxWall time.Duration
+	// MaxEvents is the per-attempt executed-event budget (0: unlimited).
+	MaxEvents uint64
+	// MaxCheckpointBytes bounds one checkpoint cut's encoded size
+	// (0: unlimited).
+	MaxCheckpointBytes int
+	// CheckpointEvery is the default virtual checkpoint cadence applied
+	// to scenarios that set none (default 10s; negative leaves scenarios
+	// untouched).
+	CheckpointEvery time.Duration
+	// InvariantEvery is the virtual invariant-check cadence (default 1s).
+	InvariantEvery time.Duration
+	// ProgressEvery is the virtual progress-heartbeat cadence (default 1s).
+	ProgressEvery time.Duration
+	// DataDir, when set, holds per-mission checkpoint journal files and
+	// reproducer snapshots. Empty: checkpoints are kept in memory only
+	// (recovery still works within the process).
+	DataDir string
+	// Chaos injects worker failures for tests and soak runs.
+	Chaos ChaosConfig
+}
+
+// ChaosConfig is the built-in failure injector: it models a worker
+// crashing (or wedging) mid-mission, which is exactly what the
+// supervisor exists to absorb.
+type ChaosConfig struct {
+	// CrashProb is the per-mission probability of injected failure,
+	// drawn deterministically from the mission seed.
+	CrashProb float64
+	// CrashAttempts is how many leading attempts fail (default 1, so a
+	// single restart recovers; set above MaxRestarts to force
+	// quarantine).
+	CrashAttempts int
+	// Stall wedges the worker instead of panicking, exercising the
+	// watchdog path.
+	Stall bool
+	// AtFrac places the failure at this fraction of the horizon
+	// (0: drawn uniformly from [0.3, 0.7)).
+	AtFrac float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = 3
+	}
+	if c.MaxRestarts < 0 {
+		c.MaxRestarts = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.WatchdogEvery <= 0 {
+		c.WatchdogEvery = 50 * time.Millisecond
+	}
+	if c.StallAfter == 0 {
+		c.StallAfter = 2 * time.Second
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 10 * time.Second
+	}
+	if c.InvariantEvery <= 0 {
+		c.InvariantEvery = time.Second
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = time.Second
+	}
+	if c.Chaos.CrashAttempts <= 0 {
+		c.Chaos.CrashAttempts = 1
+	}
+	return c
+}
+
+// telemetry is the service-wide counter set.
+type telemetry struct {
+	submitted        atomic.Int64
+	admitted         atomic.Int64
+	rejectedFull     atomic.Int64
+	rejectedDraining atomic.Int64
+	completed        atomic.Int64
+	degraded         atomic.Int64
+	failed           atomic.Int64
+	quarantined      atomic.Int64
+	crashes          atomic.Int64
+	stalls           atomic.Int64
+	restarts         atomic.Int64
+	recoveries       atomic.Int64
+	watchdogTrips    atomic.Int64
+	checkpoints      atomic.Int64
+	checkpointBytes  atomic.Int64
+}
+
+// Telemetry is the JSON projection of the service counters.
+type Telemetry struct {
+	Submitted        int64 `json:"submitted"`
+	Admitted         int64 `json:"admitted"`
+	RejectedFull     int64 `json:"rejected_queue_full"`
+	RejectedDraining int64 `json:"rejected_draining"`
+	Queued           int   `json:"queued"`
+	Running          int   `json:"running"`
+	Completed        int64 `json:"completed"`
+	Degraded         int64 `json:"degraded"`
+	Failed           int64 `json:"failed"`
+	Quarantined      int64 `json:"quarantined"`
+	Crashes          int64 `json:"crashes"`
+	Stalls           int64 `json:"stalls"`
+	Restarts         int64 `json:"restarts"`
+	Recoveries       int64 `json:"recoveries"`
+	WatchdogTrips    int64 `json:"watchdog_trips"`
+	Checkpoints      int64 `json:"checkpoints_persisted"`
+	CheckpointBytes  int64 `json:"checkpoint_bytes"`
+}
+
+// Service is a running mission service. Create with New, stop with
+// Drain (graceful) or Close (immediate).
+type Service struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	queue  chan *Mission
+	wg     sync.WaitGroup
+	wdDone chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	stopped  bool
+	nextID   int
+	byID     map[string]*Mission
+	order    []*Mission
+
+	tel telemetry
+}
+
+// New starts a service: the worker pool and the watchdog begin
+// immediately.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s := &Service{
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		queue:  make(chan *Mission, cfg.QueueDepth),
+		wdDone: make(chan struct{}),
+		byID:   make(map[string]*Mission),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	go s.watchdog()
+	return s
+}
+
+// Submit parses a .scn scenario and admits it. Parse errors, ErrQueueFull,
+// and ErrDraining are the caller's to map (400/429/503).
+func (s *Service) Submit(src string) (*Mission, error) {
+	sc, err := verify.ParseScenario(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.SubmitScenario(sc)
+}
+
+// SubmitScenario admits a parsed scenario into the bounded run queue.
+func (s *Service) SubmitScenario(sc verify.Scenario) (*Mission, error) {
+	s.tel.submitted.Add(1)
+	if sc.Horizon <= 0 {
+		return nil, fmt.Errorf("service: scenario horizon must be positive")
+	}
+	if sc.Assets <= 0 || sc.Size <= 0 {
+		return nil, fmt.Errorf("service: scenario needs assets and a map size")
+	}
+	if sc.Checkpoint == 0 && s.cfg.CheckpointEvery > 0 {
+		sc.Checkpoint = s.cfg.CheckpointEvery
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.tel.rejectedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	s.nextID++
+	m := &Mission{
+		ID:          fmt.Sprintf("m-%06d", s.nextID),
+		Scenario:    sc,
+		Source:      sc.String(),
+		state:       StateQueued,
+		submittedAt: time.Now(),
+	}
+	select {
+	case s.queue <- m:
+	default:
+		s.tel.rejectedFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.byID[m.ID] = m
+	s.order = append(s.order, m)
+	s.tel.admitted.Add(1)
+	return m, nil
+}
+
+// Mission returns the mission with the given ID, or nil.
+func (s *Service) Mission(id string) *Mission {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+// Missions returns every admitted mission in submission order.
+func (s *Service) Missions() []*Mission {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Mission(nil), s.order...)
+}
+
+// Telemetry snapshots the service counters.
+func (s *Service) Telemetry() Telemetry {
+	queued, running := 0, 0
+	for _, m := range s.Missions() {
+		switch m.State() {
+		case StateQueued:
+			queued++
+		case StateRunning, StateRestarting:
+			running++
+		case StateCompleted, StateDegraded, StateFailed, StateQuarantined:
+		default:
+		}
+	}
+	return Telemetry{
+		Submitted:        s.tel.submitted.Load(),
+		Admitted:         s.tel.admitted.Load(),
+		RejectedFull:     s.tel.rejectedFull.Load(),
+		RejectedDraining: s.tel.rejectedDraining.Load(),
+		Queued:           queued,
+		Running:          running,
+		Completed:        s.tel.completed.Load(),
+		Degraded:         s.tel.degraded.Load(),
+		Failed:           s.tel.failed.Load(),
+		Quarantined:      s.tel.quarantined.Load(),
+		Crashes:          s.tel.crashes.Load(),
+		Stalls:           s.tel.stalls.Load(),
+		Restarts:         s.tel.restarts.Load(),
+		Recoveries:       s.tel.recoveries.Load(),
+		WatchdogTrips:    s.tel.watchdogTrips.Load(),
+		Checkpoints:      s.tel.checkpoints.Load(),
+		CheckpointBytes:  s.tel.checkpointBytes.Load(),
+	}
+}
+
+// Draining reports whether the service has stopped admitting missions.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission, waits for every admitted mission to reach a
+// terminal state, then stops the watchdog. If ctx expires first,
+// in-flight attempts are cancelled — their checkpoints are durable — and
+// ctx's error is returned.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("service: already draining")
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var derr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancel(fmt.Errorf("%w: drain deadline expired", errServiceStopped))
+		<-done
+		derr = ctx.Err()
+	}
+	s.shutdown()
+	return derr
+}
+
+// Close stops the service immediately: admission closes, in-flight
+// attempts are cancelled, queued missions fail fast. Safe after Drain.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	already := s.stopped
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	s.cancel(errServiceStopped)
+	s.wg.Wait()
+	s.shutdown()
+	return nil
+}
+
+// shutdown stops the watchdog once the workers are done.
+func (s *Service) shutdown() {
+	s.mu.Lock()
+	already := s.stopped
+	s.stopped = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	s.cancel(errServiceStopped)
+	<-s.wdDone
+}
+
+// worker drains the run queue; one goroutine per pool slot.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for m := range s.queue {
+		s.runMission(m)
+	}
+}
+
+// watchdog scans running missions on the wall clock: an attempt past its
+// wall budget, or one whose engine has made no progress within the stall
+// deadline, is cancelled with the matching cause. The supervisor decides
+// what the cancellation means (restart vs terminal).
+func (s *Service) watchdog() {
+	defer close(s.wdDone)
+	t := time.NewTicker(s.cfg.WatchdogEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		for _, m := range s.Missions() {
+			if !m.running.Load() {
+				continue
+			}
+			start := time.Unix(0, m.attemptStart.Load())
+			if s.cfg.MaxWall > 0 && now.Sub(start) > s.cfg.MaxWall {
+				s.tel.watchdogTrips.Add(1)
+				m.cancelWith(fmt.Errorf("%w: attempt ran %s (budget %s)",
+					errWallBudget, now.Sub(start).Round(time.Millisecond), s.cfg.MaxWall))
+				continue
+			}
+			last := time.Unix(0, m.lastProgress.Load())
+			if s.cfg.StallAfter > 0 && now.Sub(last) > s.cfg.StallAfter {
+				s.tel.watchdogTrips.Add(1)
+				m.cancelWith(fmt.Errorf("%w: no progress for %s (deadline %s)",
+					errStalled, now.Sub(last).Round(time.Millisecond), s.cfg.StallAfter))
+			}
+		}
+	}
+}
+
+// runMission supervises one mission through attempts to a terminal
+// state.
+func (s *Service) runMission(m *Mission) {
+	if s.ctx.Err() != nil {
+		s.finish(m, StateFailed, "service stopped before the mission ran")
+		return
+	}
+	var store *checkpoint.Store
+	var persisted []checkpoint.Record
+	if s.cfg.DataDir != "" {
+		// A fresh deployment's data directory may not exist yet; an
+		// operator pointing -data at a new path should not watch every
+		// mission fail at store-open.
+		if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+			s.finish(m, StateFailed, "checkpoint store: "+err.Error())
+			return
+		}
+		st, recs, err := checkpoint.OpenStore(filepath.Join(s.cfg.DataDir, m.ID+".ckpt"))
+		if err != nil {
+			s.finish(m, StateFailed, "checkpoint store: "+err.Error())
+			return
+		}
+		store, persisted = st, recs
+		defer st.Close()
+	}
+	backoffRNG := sim.NewRNG(m.Scenario.Seed).Derive("service.backoff")
+
+	for {
+		m.beginAttempt()
+		out, err := s.attempt(m, store, &persisted)
+		m.endAttempt()
+
+		if err == nil {
+			s.conclude(m, out)
+			return
+		}
+		crash := errors.Is(err, errPanicked)
+		if crash {
+			s.tel.crashes.Add(1)
+		} else if errors.Is(err, errStalled) {
+			s.tel.stalls.Add(1)
+		}
+		if !restartable(err) {
+			s.finish(m, StateFailed, err.Error())
+			return
+		}
+		m.noteFailure(crash)
+		if m.Restarts() >= s.cfg.MaxRestarts {
+			s.finish(m, StateQuarantined,
+				fmt.Sprintf("restart budget (%d) exhausted; last failure: %v", s.cfg.MaxRestarts, err))
+			return
+		}
+		m.mu.Lock()
+		m.restarts++
+		n := m.restarts
+		m.state = StateRestarting
+		m.reason = err.Error()
+		m.mu.Unlock()
+		s.tel.restarts.Add(1)
+
+		if !s.sleepBackoff(n, backoffRNG) {
+			s.finish(m, StateFailed, "service stopped during restart backoff")
+			return
+		}
+	}
+}
+
+// sleepBackoff waits BackoffBase·2^(n-1) capped at BackoffMax, plus up
+// to 25% deterministic jitter, interruptible by service shutdown. It
+// returns false when shutdown interrupted the wait.
+func (s *Service) sleepBackoff(n int, rng *sim.RNG) bool {
+	d := s.cfg.BackoffBase
+	for i := 1; i < n && d < s.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	if q := int(d / 4); q > 0 {
+		d += time.Duration(rng.Intn(q + 1))
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.ctx.Done():
+		return false
+	}
+}
+
+// attempt wraps one runAttempt with supervision plumbing: panic
+// recovery, the watchdog cancel hook, checkpoint persistence, and chaos.
+func (s *Service) attempt(m *Mission, store *checkpoint.Store, persisted *[]checkpoint.Record) (out *attemptOutcome, aerr error) {
+	defer func() {
+		if p := recover(); p != nil {
+			aerr = fmt.Errorf("%w: %v", errPanicked, p)
+		}
+	}()
+	ctx, cancel := context.WithCancelCause(s.ctx)
+	defer cancel(nil)
+	m.setCancel(cancel)
+	defer m.setCancel(nil)
+
+	digests := make(map[int]uint64, len(*persisted))
+	var anchor *checkpoint.Record
+	if n := len(*persisted); n > 0 {
+		rec := (*persisted)[n-1]
+		anchor = &rec
+		for _, r := range *persisted {
+			digests[r.Seq] = r.Checkpoint.Digest()
+		}
+	}
+
+	recovering := anchor != nil
+	p := attemptParams{
+		sc:                 m.Scenario,
+		ctx:                ctx,
+		cancel:             cancel,
+		journal:            checkpoint.NewJournal(m.Scenario.Seed, planString(m.Scenario)),
+		invariantEvery:     s.cfg.InvariantEvery,
+		progressEvery:      s.cfg.ProgressEvery,
+		maxEvents:          s.cfg.MaxEvents,
+		maxCheckpointBytes: s.cfg.MaxCheckpointBytes,
+		chaos:              s.chaosFor(m, ctx),
+		anchor:             anchor,
+		persistedDigests:   digests,
+		onCheckpoint: func(rec checkpoint.Record) error {
+			if store != nil {
+				if err := store.Append(rec); err != nil {
+					return err
+				}
+				if err := store.Sync(); err != nil {
+					return err
+				}
+			}
+			*persisted = append(*persisted, rec)
+			s.tel.checkpoints.Add(1)
+			s.tel.checkpointBytes.Add(int64(rec.Checkpoint.Bytes()))
+			m.mu.Lock()
+			m.checkpoints++
+			m.mu.Unlock()
+			return nil
+		},
+		onProgress: m.noteProgress,
+		onFirstEvent: func() {
+			m.noteFirstEvent()
+			if recovering {
+				s.tel.recoveries.Add(1)
+				recovering = false
+			}
+		},
+	}
+	return runAttempt(p)
+}
+
+// chaosFor derives the mission's injected failure, if any, from its
+// seed: deterministic, so a chaos run is as reproducible as a clean one.
+// Only the leading CrashAttempts attempts fail; recovery attempts beyond
+// that run undisturbed.
+func (s *Service) chaosFor(m *Mission, ctx context.Context) *chaosPlan {
+	c := s.cfg.Chaos
+	if c.CrashProb <= 0 || m.Attempts() > c.CrashAttempts {
+		return nil
+	}
+	rng := sim.NewRNG(m.Scenario.Seed).Derive("service.chaos")
+	if !rng.Bool(c.CrashProb) {
+		return nil
+	}
+	frac := c.AtFrac
+	if frac <= 0 {
+		frac = rng.Uniform(0.3, 0.7)
+	}
+	return &chaosPlan{
+		at:    time.Duration(frac * float64(m.Scenario.Horizon)),
+		stall: c.Stall,
+		ctx:   ctx,
+	}
+}
+
+// conclude records a finished attempt's outcome and the terminal state:
+// completed when clean, degraded (with a reproducer snapshot) when an
+// invariant was violated.
+func (s *Service) conclude(m *Mission, out *attemptOutcome) {
+	m.mu.Lock()
+	m.fingerprint = out.fingerprint
+	m.summary = out.summary
+	m.journal = out.journal
+	if out.recoveredFrom > 0 {
+		m.recoveredFrom = out.recoveredFrom
+	}
+	m.violations = m.violations[:0]
+	for _, v := range out.violations {
+		m.violations = append(m.violations, v.String())
+	}
+	m.events.Store(out.events)
+	m.mu.Unlock()
+
+	if len(out.violations) == 0 {
+		s.finish(m, StateCompleted, "")
+		return
+	}
+	reason := fmt.Sprintf("%d invariant violations (first: %s)", len(out.violations), out.violations[0])
+	if s.cfg.DataDir != "" {
+		path := filepath.Join(s.cfg.DataDir, m.ID+".reproducer.scn")
+		if err := os.WriteFile(path, []byte(m.Source), 0o644); err != nil {
+			reason += "; reproducer write failed: " + err.Error()
+		} else {
+			reason += "; reproducer: " + path
+		}
+	}
+	s.finish(m, StateDegraded, reason)
+}
+
+// finish moves a mission to a terminal state and bumps the matching
+// counter.
+func (s *Service) finish(m *Mission, st MissionState, reason string) {
+	m.mu.Lock()
+	m.state = st
+	m.reason = reason
+	m.finishedAt = time.Now()
+	m.mu.Unlock()
+	switch st {
+	case StateCompleted:
+		s.tel.completed.Add(1)
+	case StateDegraded:
+		s.tel.degraded.Add(1)
+	case StateFailed:
+		s.tel.failed.Add(1)
+	case StateQuarantined:
+		s.tel.quarantined.Add(1)
+	case StateQueued, StateRunning, StateRestarting:
+		// Not terminal; finish is never called with these.
+	default:
+	}
+}

@@ -1,0 +1,251 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"iobt/internal/verify"
+)
+
+// smallScenario is a fast nominal mission for pool/admission tests.
+func smallScenario(seed int64) verify.Scenario {
+	return verify.Scenario{
+		Seed:    seed,
+		Assets:  90,
+		Size:    600,
+		Terrain: "open",
+		Command: "intent",
+		Rate:    10,
+		Horizon: 20 * time.Second,
+	}
+}
+
+func TestSubmitParsesAndDefaultsCheckpoint(t *testing.T) {
+	svc := New(Config{Workers: 1, CheckpointEvery: 7 * time.Second})
+	defer svc.Close()
+	m, err := svc.Submit(smallScenario(2101).String())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if m.Scenario.Checkpoint != 7*time.Second {
+		t.Errorf("default checkpoint cadence not applied: %v", m.Scenario.Checkpoint)
+	}
+	if svc.Mission(m.ID) != m {
+		t.Error("mission not registered under its ID")
+	}
+	if _, err := svc.Submit("not a scenario"); err == nil {
+		t.Error("garbage submission accepted")
+	}
+}
+
+// TestAdmissionControlRejectsWhenFull fills the bounded queue with no
+// workers draining it and requires ErrQueueFull — the 429 path.
+func TestAdmissionControlRejectsWhenFull(t *testing.T) {
+	// One worker, blocked by a long mission; queue depth 2.
+	svc := New(Config{Workers: 1, QueueDepth: 2})
+	defer svc.Close()
+	// The worker picks up the first mission almost immediately; fill the
+	// queue behind it until rejection.
+	full := 0
+	for i := 0; i < 50; i++ {
+		_, err := svc.SubmitScenario(smallScenario(int64(2200 + i)))
+		if errors.Is(err, ErrQueueFull) {
+			full++
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected submit error: %v", err)
+		}
+	}
+	if full == 0 {
+		t.Fatal("bounded queue never rejected: admission control is not bounded")
+	}
+	if svc.Telemetry().RejectedFull == 0 {
+		t.Error("rejection not counted in telemetry")
+	}
+}
+
+// TestDrainLosesNoAdmittedMission submits a batch, drains, and requires
+// every admitted mission to be terminal and successful: drain means
+// "finish what you accepted", not "abandon it".
+func TestDrainLosesNoAdmittedMission(t *testing.T) {
+	svc := New(Config{Workers: 4})
+	var admitted []*Mission
+	for i := 0; i < 8; i++ {
+		m, err := svc.SubmitScenario(smallScenario(int64(2300 + i)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		admitted = append(admitted, m)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, m := range admitted {
+		if st := m.State(); st != StateCompleted {
+			t.Errorf("%s: state %s (%s), want completed", m.ID, st, m.Reason())
+		}
+		if len(m.Violations()) != 0 {
+			t.Errorf("%s: unexpected violations %v", m.ID, m.Violations())
+		}
+		if m.Summary().Checks == 0 {
+			t.Errorf("%s: invariant audit is empty", m.ID)
+		}
+		if m.FirstEventLatency() <= 0 {
+			t.Errorf("%s: first-event latency not measured", m.ID)
+		}
+	}
+	if _, err := svc.SubmitScenario(smallScenario(9999)); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain submit error = %v, want ErrDraining", err)
+	}
+}
+
+// TestEventBudgetFailsMission pins the per-mission resource budget: a
+// mission over its event budget is cancelled and terminally failed (a
+// retry would hit the same budget).
+func TestEventBudgetFailsMission(t *testing.T) {
+	m := runOne(t, Config{Workers: 1, MaxEvents: 20}, smallScenario(2401))
+	if m.State() != StateFailed {
+		t.Fatalf("over-budget mission ended %s, want failed", m.State())
+	}
+	if got := m.Reason(); !strings.Contains(got, "event limit") {
+		t.Errorf("reason %q does not name the event budget", got)
+	}
+}
+
+// TestWallBudgetFailsMission wedges a mission and bounds it by wall
+// clock instead of the stall deadline.
+func TestWallBudgetFailsMission(t *testing.T) {
+	m := runOne(t, Config{
+		Workers:       1,
+		MaxWall:       300 * time.Millisecond,
+		WatchdogEvery: 20 * time.Millisecond,
+		StallAfter:    -1, // only the wall budget may trip
+		MaxRestarts:   -1,
+		Chaos:         ChaosConfig{CrashProb: 1, AtFrac: 0.4, Stall: true},
+	}, smallScenario(2501))
+	if m.State() != StateFailed {
+		t.Fatalf("wall-budget mission ended %s (%s), want failed", m.State(), m.Reason())
+	}
+	if got := m.Reason(); !strings.Contains(got, "wall-clock") {
+		t.Errorf("reason %q does not name the wall budget", got)
+	}
+}
+
+// TestCheckpointBytesBudget bounds the encoded checkpoint size so a
+// state-bloated mission cannot fill the data directory.
+func TestCheckpointBytesBudget(t *testing.T) {
+	sc := recoveryScenario(2601)
+	m := runOne(t, Config{Workers: 1, DataDir: t.TempDir(), MaxCheckpointBytes: 64}, sc)
+	if m.State() != StateFailed {
+		t.Fatalf("oversized-checkpoint mission ended %s, want failed", m.State())
+	}
+	if got := m.Reason(); !strings.Contains(got, "checkpoint size") {
+		t.Errorf("reason %q does not name the checkpoint budget", got)
+	}
+}
+
+// TestCloseLeaksNoGoroutines boots a service, runs missions (some
+// crashing), closes it, and requires the goroutine count back at its
+// baseline: workers, watchdog, and per-attempt machinery all unwind.
+func TestCloseLeaksNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	svc := New(Config{
+		Workers: 4,
+		Chaos:   ChaosConfig{CrashProb: 0.5},
+	})
+	for i := 0; i < 6; i++ {
+		if _, err := svc.SubmitScenario(smallScenario(int64(2700 + i))); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	// Close mid-flight: in-flight attempts are cancelled, queued missions
+	// fail fast.
+	time.Sleep(50 * time.Millisecond)
+	if err := svc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for _, m := range svc.Missions() {
+		if !m.State().Terminal() {
+			t.Errorf("%s not terminal after Close: %s", m.ID, m.State())
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
+
+// TestDrainDeadlineCancelsInFlight pins the hard-drain path: when the
+// drain context expires, in-flight missions are cancelled and marked
+// failed rather than left running.
+func TestDrainDeadlineCancelsInFlight(t *testing.T) {
+	svc := New(Config{
+		Workers:    1,
+		StallAfter: -1, // let the wedge live until the drain deadline
+		Chaos:      ChaosConfig{CrashProb: 1, AtFrac: 0.3, Stall: true},
+	})
+	m, err := svc.SubmitScenario(smallScenario(2801))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	err = svc.Drain(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain error = %v, want deadline exceeded", err)
+	}
+	if st := m.State(); st != StateFailed {
+		t.Errorf("hard-drained mission state %s, want failed", st)
+	}
+}
+
+// TestTelemetryCounts sanity-checks the counter wiring end to end.
+func TestTelemetryCounts(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	for i := 0; i < 3; i++ {
+		if _, err := svc.SubmitScenario(smallScenario(int64(2900 + i))); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	tel := svc.Telemetry()
+	if tel.Admitted != 3 || tel.Completed != 3 {
+		t.Errorf("telemetry admitted=%d completed=%d, want 3/3", tel.Admitted, tel.Completed)
+	}
+	if tel.Queued != 0 || tel.Running != 0 {
+		t.Errorf("drained service still reports queued=%d running=%d", tel.Queued, tel.Running)
+	}
+}
+
+// TestDataDirCreatedOnDemand pins the fresh-deployment path: pointing
+// DataDir at a directory that does not exist yet must not fail every
+// mission at store-open — the service creates it.
+func TestDataDirCreatedOnDemand(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "missions", "ckpt")
+	sc := smallScenario(3001)
+	sc.Checkpoint = 5 * time.Second
+	m := runOne(t, Config{Workers: 1, DataDir: dir}, sc)
+	if st := m.State(); st != StateCompleted {
+		t.Fatalf("mission in fresh data dir ended %s (%s), want completed", st, m.Reason())
+	}
+	if _, err := os.Stat(filepath.Join(dir, m.ID+".ckpt")); err != nil {
+		t.Errorf("journal file missing from created data dir: %v", err)
+	}
+}

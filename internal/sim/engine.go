@@ -10,6 +10,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -223,6 +224,16 @@ func (e *Engine) Step() bool {
 // Stop is called. A zero horizon means no time limit. It returns
 // ErrStopped if halted by Stop, nil otherwise.
 func (e *Engine) Run(horizon time.Duration) error {
+	return e.RunContext(context.Background(), horizon)
+}
+
+// RunContext is Run with cooperative cancellation: the loop observes ctx
+// between events and returns context.Cause(ctx) once it is cancelled.
+// Cancellation never perturbs determinism — the event order is fixed by
+// the queue; ctx only decides how far along it the run gets. A
+// background context (nil Done channel) adds no per-event cost.
+func (e *Engine) RunContext(ctx context.Context, horizon time.Duration) error {
+	done := ctx.Done()
 	e.stopped = false
 	limit := horizon
 	if limit == 0 {
@@ -231,6 +242,13 @@ func (e *Engine) Run(horizon time.Duration) error {
 		limit = e.now + horizon
 	}
 	for !e.stopped {
+		if done != nil {
+			select {
+			case <-done:
+				return context.Cause(ctx)
+			default:
+			}
+		}
 		if len(e.queue) == 0 {
 			return nil
 		}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -268,5 +270,61 @@ func TestRunUntilExhaustsQueue(t *testing.T) {
 	e.Schedule(time.Second, "only", func() {})
 	if ok := e.RunUntil(func() bool { return false }, 100); ok {
 		t.Error("predicate never true but RunUntil reported success")
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	e := NewEngine(8)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cause := errors.New("mission stalled")
+	fired := 0
+	var tick *Ticker
+	tick = e.Every(time.Second, "ctx.tick", func() {
+		fired++
+		if fired == 3 {
+			cancel(cause)
+		}
+	})
+	defer tick.Stop()
+	err := e.RunContext(ctx, time.Minute)
+	if !errors.Is(err, cause) {
+		t.Fatalf("RunContext error = %v, want cause %v", err, cause)
+	}
+	// The loop observes ctx between events: the cancelling event itself
+	// completes, nothing after it runs.
+	if fired != 3 {
+		t.Errorf("events after cancellation: fired = %d, want 3", fired)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("clock advanced to %v after cancellation, want 3s", e.Now())
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	e := NewEngine(9)
+	e.Schedule(time.Second, "never", func() { t.Error("event ran under a cancelled context") })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.RunContext(ctx, time.Minute); err == nil {
+		t.Fatal("RunContext under a cancelled context returned nil")
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock advanced to %v", e.Now())
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	trace := func(run func(e *Engine) error) (uint64, error) {
+		e := NewEngine(10)
+		var tk *Ticker
+		tk = e.Every(time.Second, "bg.tick", func() {})
+		defer tk.Stop()
+		err := run(e)
+		return e.Processed(), err
+	}
+	n1, err1 := trace(func(e *Engine) error { return e.Run(10 * time.Second) })
+	n2, err2 := trace(func(e *Engine) error { return e.RunContext(context.Background(), 10*time.Second) })
+	if n1 != n2 || (err1 == nil) != (err2 == nil) {
+		t.Errorf("Run vs RunContext(background): processed %d/%d, errs %v/%v", n1, n2, err1, err2)
 	}
 }
