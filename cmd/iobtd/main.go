@@ -104,17 +104,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
-	// Graceful shutdown: close the HTTP front end first (no new
-	// submissions), then drain the pool — every admitted mission runs to
-	// a terminal state before we exit.
+	// Graceful shutdown: drain the pool while the HTTP front end keeps
+	// serving. Drain stops admission immediately (submissions get 503,
+	// /healthz reports "draining" so load balancers rotate the instance
+	// out, status and telemetry stay pollable), and every admitted
+	// mission runs to a terminal state. Only then does the listener
+	// close.
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainFor)
+	defer drainCancel()
+	drainErr := svc.Drain(drainCtx)
 	shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer shCancel()
 	if err := srv.Shutdown(shCtx); err != nil {
 		fmt.Fprintf(out, "iobtd: http shutdown: %v\n", err)
 	}
-	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainFor)
-	defer drainCancel()
-	drainErr := svc.Drain(drainCtx)
 
 	tel := svc.Telemetry()
 	fmt.Fprintf(out, "iobtd: drained: completed=%d degraded=%d failed=%d quarantined=%d restarts=%d\n",

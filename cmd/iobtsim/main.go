@@ -12,6 +12,7 @@
 //	iobtsim -checkpoint 15s -faults plan.txt   # warm-failover-capable run
 //	iobtsim -faults standard -replay-verify    # run twice, diff decision logs
 //	iobtsim -faults standard -verify           # arm the invariant registry, fail on violation
+//	iobtsim -gossip -verify                    # replicate the COP over epidemic gossip, CRDT invariants armed
 package main
 
 import (
@@ -19,15 +20,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"iobt/internal/asset"
 	"iobt/internal/attack"
 	"iobt/internal/checkpoint"
+	"iobt/internal/cop"
 	"iobt/internal/core"
 	"iobt/internal/fault"
 	"iobt/internal/geo"
 	"iobt/internal/intent"
+	"iobt/internal/mesh"
 	"iobt/internal/verify"
 )
 
@@ -78,6 +82,7 @@ func run(args []string) error {
 		ckEvery = fs.Duration("checkpoint", 0, "checkpoint cadence (0 disables; enables `failover warm` in fault plans)")
 		replay  = fs.Bool("replay-verify", false, "run the scenario twice and diff the decision journals (determinism check)")
 		verif   = fs.Bool("verify", false, "arm the full invariant registry during the run and exit nonzero on any violation")
+		gossip  = fs.Bool("gossip", false, "replicate the common operational picture over an epidemic gossip overlay among composite members")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -180,6 +185,77 @@ func run(args []string) error {
 			reg.Add(testExtraInvariants()...)
 		}
 		reg.SetClock(w.Eng.Now)
+		// The gossip overlay enrolls every composite member with a CRDT
+		// picture replica: the command post periodically folds its world
+		// view into its own replica and gossips the encoded state, every
+		// member merges what arrives, and the overlay conservation plus
+		// picture-monotonicity invariants ride the same registry as the
+		// mission set.
+		var g *mesh.Gossip
+		var gPics map[mesh.NodeID]*cop.Picture
+		if *gossip {
+			members := append([]asset.ID(nil), comp.Members...)
+			if post := r.Sink(); post != asset.None {
+				found := false
+				for _, id := range members {
+					if id == post {
+						found = true
+						break
+					}
+				}
+				if !found {
+					members = append(members, post)
+				}
+			}
+			sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+			g = mesh.NewGossip(w.Net, mesh.GossipConfig{})
+			gPics = make(map[mesh.NodeID]*cop.Picture, len(members))
+			for _, id := range members {
+				node := id
+				gPics[id] = cop.NewPicture(id)
+				prev := w.Net.Handler(id)
+				g.Join(id, func(msg mesh.Message) {
+					if msg.Kind == "cop" {
+						if enc, ok := msg.Payload.([]byte); ok {
+							if remote, err := cop.Decode(enc); err == nil {
+								gPics[node].Merge(remote)
+							}
+						}
+						return
+					}
+					if prev != nil {
+						prev(msg)
+					}
+				})
+			}
+			g.Start()
+			post := r.Sink()
+			w.Eng.Every(10*time.Second, "iobtsim.cop", func() {
+				p := gPics[post]
+				if p == nil {
+					return
+				}
+				core.UpdatePicture(p, w, r, core.DefaultCOPCell)
+				enc := p.Encode()
+				if _, err := g.Publish(post, "cop", float64(len(enc)), enc); err != nil {
+					return
+				}
+			})
+			//iobt:allow metricreg the overlay invariants exist only under -gossip; without the flag there is no Gossip instance or picture set to check
+			reg.Add(verify.GossipConservation(g))
+			//iobt:allow metricreg same -gossip gate as the conservation check above
+			reg.Add(verify.PictureMonotone("iobtsim", func() []*cop.Picture {
+				out := make([]*cop.Picture, 0, len(members))
+				for _, id := range members {
+					out = append(out, gPics[id])
+				}
+				return out
+			}))
+			if !quiet {
+				fmt.Printf("gossip overlay: %d members, anti-entropy every %s\n",
+					len(members), g.Config().AntiEntropyEvery)
+			}
+		}
 		if *jam {
 			w.Jam.Add(attack.Jammer{
 				Area:      geo.Circle{Center: terr.Bounds.Center(), Radius: *size / 3},
@@ -259,6 +335,15 @@ func run(args []string) error {
 		fmt.Printf("  health: %s (%d transitions)\n", r.Health(), met.HealthChanges.Value())
 		fmt.Printf("  network: delivered=%d dropped=%d noroute=%d\n",
 			w.Net.Delivered.Value(), w.Net.Dropped.Value(), w.Net.NoRoute.Value())
+		if g != nil {
+			fmt.Printf("  gossip: published=%d delivery=%.2f repairs=%d frames=%d\n",
+				g.Published.Value(), g.DeliveryRatio(), g.Repairs.Value(), g.FramesSent.Value())
+			if p := gPics[r.Sink()]; p != nil {
+				tracks, trustPairs, cells, _ := p.Counts()
+				fmt.Printf("  post picture: tracks=%d trust=%d cells=%d digest=%016x\n",
+					tracks, trustPairs, cells, p.Digest())
+			}
+		}
 		fmt.Printf("  fingerprint: %016x\n", met.Fingerprint())
 		if rep != nil {
 			fmt.Printf("\n%s", rep)

@@ -54,6 +54,31 @@ func TestRunWithSpecFile(t *testing.T) {
 	}
 }
 
+// TestRunGossipOverlay pins the -gossip path: the COP replication
+// overlay runs under the full invariant registry (gossip conservation,
+// picture monotonicity) and a violation would fail the run via -verify.
+func TestRunGossipOverlay(t *testing.T) {
+	if err := run([]string{"-minutes", "1", "-assets", "200", "-rate", "10", "-gossip", "-verify"}); err != nil {
+		t.Fatalf("gossip mission: %v", err)
+	}
+}
+
+// TestRunGossipWithHealPlan drives the partition/heal DSL verbs through
+// the CLI with the overlay armed: the unbounded cut must not trip any
+// invariant, and the heal must let the run complete cleanly.
+func TestRunGossipWithHealPlan(t *testing.T) {
+	dir := t.TempDir()
+	plan := filepath.Join(dir, "heal.txt")
+	content := "plan heal\npartition at=10s x=750\nheal at=40s\n"
+	if err := os.WriteFile(plan, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-minutes", "1", "-assets", "200", "-rate", "10",
+		"-gossip", "-verify", "-faults", plan}); err != nil {
+		t.Fatalf("gossip mission under heal plan: %v", err)
+	}
+}
+
 // TestVerifyViolationExitBehavior pins the -verify exit contract: an
 // invariant violation must surface as errVerification and exit code 2 —
 // in the plain path and in the fault-plan path, where the harness

@@ -14,10 +14,16 @@ import (
 	"iobt/internal/sim"
 )
 
-// Jammer is one circular jamming field with an activation window.
+// Jammer is one jamming field with an activation window. Its footprint
+// is the circle Area when Area.Radius is positive, otherwise the
+// rectangle Region (the `jam region` fault verb); a jammer with neither
+// covers nothing.
 type Jammer struct {
 	Area geo.Circle
-	// Intensity in [0,1]: fraction of radio range destroyed inside Area.
+	// Region is the rectangular footprint used when Area is unset.
+	Region geo.Rect
+	// Intensity in [0,1]: fraction of radio range destroyed inside the
+	// footprint.
 	Intensity float64
 	// From/Until bound the active window in virtual time. A zero Until
 	// means "forever".
@@ -30,6 +36,14 @@ func (j Jammer) Active(now time.Duration) bool {
 		return false
 	}
 	return j.Until == 0 || now < j.Until
+}
+
+// Covers reports whether the jammer's footprint includes p.
+func (j Jammer) Covers(p geo.Point) bool {
+	if j.Area.Radius > 0 {
+		return j.Area.Contains(p)
+	}
+	return j.Region.Contains(p)
 }
 
 // Field aggregates jammers into the intensity function the mesh consumes.
@@ -62,7 +76,7 @@ func (f *Field) At(p geo.Point) float64 {
 	now := f.eng.Now()
 	maxI := 0.0
 	for _, j := range f.jammers {
-		if j.Active(now) && j.Area.Contains(p) && j.Intensity > maxI {
+		if j.Active(now) && j.Covers(p) && j.Intensity > maxI {
 			maxI = j.Intensity
 		}
 	}

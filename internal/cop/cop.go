@@ -1,0 +1,527 @@
+// Package cop replicates the common operational picture as a state-based
+// CRDT: the track store is a map of last-writer-wins registers, trust
+// evidence is a grow-only counter per (subject, observer), and the sensor
+// coverage map is an observed-remove set of grid cells. Merges are
+// commutative, associative, and idempotent, so command posts converge on
+// the same picture regardless of message ordering, duplication, or how
+// long a partition kept them apart — the property the paper's §III
+// "composing thousands of battle things" vision needs and that the
+// gossip layer (internal/mesh) exploits: replicas exchange encoded
+// pictures and merge, with no coordination and no ordering assumptions.
+//
+// All ordering inside the package is explicit (virtual-time stamps with
+// asset-ID tiebreaks, sorted iteration for encoding), so same-seed runs
+// stay byte-identical.
+package cop
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"iobt/internal/asset"
+	"iobt/internal/checkpoint"
+	"iobt/internal/geo"
+)
+
+// Stamp orders LWW writes: virtual time first, writer ID as tiebreak.
+// Two stamps are equal only for the same writer at the same instant, in
+// which case the values are identical by construction.
+type Stamp struct {
+	T     time.Duration
+	Actor asset.ID
+}
+
+// After reports whether s strictly supersedes o.
+func (s Stamp) After(o Stamp) bool {
+	if s.T != o.T {
+		return s.T > o.T
+	}
+	return s.Actor > o.Actor
+}
+
+// TrackKey names a replicated track: the reporting actor plus its local
+// track ID. Different observers of the same target keep distinct entries;
+// fusion across observers is a read-side concern.
+type TrackKey struct {
+	Actor asset.ID
+	ID    int
+}
+
+// TrackFix is the replicated state of one track (the LWW register value).
+type TrackFix struct {
+	Pos       geo.Point
+	Vel       geo.Vec
+	Hits      int
+	Confirmed bool
+}
+
+// trackReg is an LWW register: the newest stamp wins on merge.
+type trackReg struct {
+	Fix   TrackFix
+	Stamp Stamp
+}
+
+// Evidence is accumulated Beta-reputation evidence from one observer.
+// Both components only grow, so pointwise max is the join.
+type Evidence struct {
+	Alpha, Beta float64
+}
+
+// max-merge of evidence pairs.
+func (e Evidence) join(o Evidence) Evidence {
+	if o.Alpha > e.Alpha {
+		e.Alpha = o.Alpha
+	}
+	if o.Beta > e.Beta {
+		e.Beta = o.Beta
+	}
+	return e
+}
+
+// dominates reports e >= o pointwise.
+func (e Evidence) dominates(o Evidence) bool {
+	return e.Alpha >= o.Alpha && e.Beta >= o.Beta
+}
+
+// Cell indexes the coverage grid.
+type Cell struct {
+	X, Y int32
+}
+
+// tag uniquely identifies one OR-set add: the covering actor plus a
+// per-actor sequence number.
+type tag struct {
+	Actor asset.ID
+	Seq   uint64
+}
+
+// Picture is one replica of the common operational picture. It is not
+// safe for concurrent use; like the rest of the simulator it lives on
+// the single-threaded engine loop.
+type Picture struct {
+	self asset.ID
+	seq  uint64
+
+	tracks map[TrackKey]trackReg
+	// trust[subject][observer] = grow-only evidence pair.
+	trust map[asset.ID]map[asset.ID]Evidence
+	// adds[cell] holds the live tags asserting coverage of cell;
+	// removes tombstones tags whose coverage was withdrawn. A cell is
+	// covered iff it has at least one un-tombstoned tag.
+	adds    map[Cell]map[tag]bool
+	removes map[tag]bool
+}
+
+// NewPicture returns an empty replica owned by actor self.
+func NewPicture(self asset.ID) *Picture {
+	return &Picture{
+		self:    self,
+		tracks:  make(map[TrackKey]trackReg),
+		trust:   make(map[asset.ID]map[asset.ID]Evidence),
+		adds:    make(map[Cell]map[tag]bool),
+		removes: make(map[tag]bool),
+	}
+}
+
+// Self returns the owning actor.
+func (p *Picture) Self() asset.ID { return p.self }
+
+// ObserveTrack records the replica owner's current estimate of its local
+// track id at virtual time at. Later stamps supersede earlier ones; a
+// stale observation (earlier stamp) is ignored.
+func (p *Picture) ObserveTrack(id int, fix TrackFix, at time.Duration) {
+	key := TrackKey{Actor: p.self, ID: id}
+	st := Stamp{T: at, Actor: p.self}
+	if cur, ok := p.tracks[key]; ok && !st.After(cur.Stamp) {
+		return
+	}
+	p.tracks[key] = trackReg{Fix: fix, Stamp: st}
+}
+
+// Track returns the replicated fix for key, if present.
+func (p *Picture) Track(key TrackKey) (TrackFix, bool) {
+	reg, ok := p.tracks[key]
+	return reg.Fix, ok
+}
+
+// TrackKeys returns every replicated track key, sorted.
+func (p *Picture) TrackKeys() []TrackKey {
+	keys := make([]TrackKey, 0, len(p.tracks))
+	for k := range p.tracks {
+		keys = append(keys, k)
+	}
+	sortTrackKeys(keys)
+	return keys
+}
+
+// ObserveTrust records the owner's accumulated evidence about subject.
+// Evidence only grows: the stored pair is the pointwise max of every
+// observation, so re-delivery and reordering are harmless.
+func (p *Picture) ObserveTrust(subject asset.ID, alpha, beta float64) {
+	obs := p.trust[subject]
+	if obs == nil {
+		obs = make(map[asset.ID]Evidence)
+		p.trust[subject] = obs
+	}
+	obs[p.self] = obs[p.self].join(Evidence{Alpha: alpha, Beta: beta})
+}
+
+// Trust sums the replicated evidence about subject across observers.
+func (p *Picture) Trust(subject asset.ID) Evidence {
+	var total Evidence
+	for _, observer := range p.observersOf(subject) {
+		e := p.trust[subject][observer]
+		total.Alpha += e.Alpha
+		total.Beta += e.Beta
+	}
+	return total
+}
+
+// Score is the Beta-posterior mean of subject's summed evidence with a
+// uniform prior, matching trust.Ledger's convention.
+func (p *Picture) Score(subject asset.ID) float64 {
+	e := p.Trust(subject)
+	return (1 + e.Alpha) / (2 + e.Alpha + e.Beta)
+}
+
+// Subjects returns every asset with replicated trust evidence, sorted.
+func (p *Picture) Subjects() []asset.ID {
+	ids := make([]asset.ID, 0, len(p.trust))
+	for id := range p.trust {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+// observersOf returns the sorted observers with evidence about subject.
+func (p *Picture) observersOf(subject asset.ID) []asset.ID {
+	obs := p.trust[subject]
+	ids := make([]asset.ID, 0, len(obs))
+	for id := range obs {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+// Cover asserts that the owner currently covers cell c.
+func (p *Picture) Cover(c Cell) {
+	tags := p.adds[c]
+	if tags == nil {
+		tags = make(map[tag]bool)
+		p.adds[c] = tags
+	}
+	p.seq++
+	tags[tag{Actor: p.self, Seq: p.seq}] = true
+}
+
+// Uncover withdraws coverage of c by tombstoning every live tag the
+// replica has observed — the observed-remove rule: concurrent Covers it
+// has not yet seen survive the removal.
+func (p *Picture) Uncover(c Cell) {
+	for _, t := range p.liveTags(c) {
+		p.removes[t] = true
+	}
+}
+
+// Covered reports whether any un-tombstoned coverage assertion for c
+// has been observed.
+func (p *Picture) Covered(c Cell) bool {
+	return len(p.liveTags(c)) > 0
+}
+
+// CoveredCells returns every covered cell, sorted.
+func (p *Picture) CoveredCells() []Cell {
+	cells := make([]Cell, 0, len(p.adds))
+	for c := range p.adds {
+		if p.Covered(c) {
+			cells = append(cells, c)
+		}
+	}
+	sortCells(cells)
+	return cells
+}
+
+// liveTags returns c's un-tombstoned tags, sorted.
+func (p *Picture) liveTags(c Cell) []tag {
+	var live []tag
+	for t := range p.adds[c] {
+		if !p.removes[t] {
+			live = append(live, t)
+		}
+	}
+	sortTags(live)
+	return live
+}
+
+// Merge joins o into p. The join is commutative, associative, and
+// idempotent: LWW registers keep the newer stamp, evidence counters take
+// the pointwise max, and the coverage OR-set unions adds and tombstones.
+// o is not modified.
+func (p *Picture) Merge(o *Picture) {
+	for key, reg := range o.tracks {
+		if cur, ok := p.tracks[key]; !ok || reg.Stamp.After(cur.Stamp) {
+			p.tracks[key] = reg
+		}
+	}
+	for subject, obs := range o.trust {
+		mine := p.trust[subject]
+		if mine == nil {
+			mine = make(map[asset.ID]Evidence, len(obs))
+			p.trust[subject] = mine
+		}
+		for observer, e := range obs {
+			mine[observer] = mine[observer].join(e)
+		}
+	}
+	for c, tags := range o.adds {
+		mine := p.adds[c]
+		if mine == nil {
+			mine = make(map[tag]bool, len(tags))
+			p.adds[c] = mine
+		}
+		for t := range tags {
+			mine[t] = true
+		}
+	}
+	for t := range o.removes {
+		p.removes[t] = true
+	}
+}
+
+// Dominates reports whether p's state is at or past o in the CRDT
+// partial order: every register o holds exists in p with an equal or
+// newer stamp, every evidence pair is pointwise >=, and p's add and
+// tombstone sets contain o's. Merging can only move a replica up this
+// order — "anti-entropy never regresses CRDT state" is checked against
+// exactly this predicate by verify.PictureMonotone.
+func (p *Picture) Dominates(o *Picture) bool {
+	for key, reg := range o.tracks {
+		cur, ok := p.tracks[key]
+		if !ok {
+			return false
+		}
+		if cur.Stamp != reg.Stamp && !cur.Stamp.After(reg.Stamp) {
+			return false
+		}
+	}
+	for subject, obs := range o.trust {
+		mine := p.trust[subject]
+		for observer, e := range obs {
+			if mine == nil || !mine[observer].dominates(e) {
+				return false
+			}
+		}
+	}
+	for c, tags := range o.adds {
+		mine := p.adds[c]
+		for t := range tags {
+			if mine == nil || !mine[t] {
+				return false
+			}
+		}
+	}
+	for t := range o.removes {
+		if !p.removes[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy (same owner, same tag sequence).
+func (p *Picture) Clone() *Picture {
+	c := NewPicture(p.self)
+	c.seq = p.seq
+	c.Merge(p)
+	return c
+}
+
+// Encode serializes the replica deterministically: every map is walked
+// in sorted key order, so equal states produce equal bytes and Digest
+// can stand in for deep comparison.
+func (p *Picture) Encode() []byte {
+	e := checkpoint.NewEncoder()
+	e.Int64(int64(p.self))
+	e.Uint64(p.seq)
+	p.encodeState(e)
+	return e.Bytes()
+}
+
+// encodeState writes the replicated (convergent) state, excluding the
+// replica-local identity fields, in sorted key order.
+func (p *Picture) encodeState(e *checkpoint.Encoder) {
+	keys := p.TrackKeys()
+	e.Int(len(keys))
+	for _, k := range keys {
+		reg := p.tracks[k]
+		e.Int64(int64(k.Actor))
+		e.Int(k.ID)
+		e.Float64(reg.Fix.Pos.X)
+		e.Float64(reg.Fix.Pos.Y)
+		e.Float64(reg.Fix.Vel.DX)
+		e.Float64(reg.Fix.Vel.DY)
+		e.Int(reg.Fix.Hits)
+		e.Bool(reg.Fix.Confirmed)
+		e.Int64(int64(reg.Stamp.T))
+		e.Int64(int64(reg.Stamp.Actor))
+	}
+
+	subjects := p.Subjects()
+	e.Int(len(subjects))
+	for _, s := range subjects {
+		observers := p.observersOf(s)
+		e.Int64(int64(s))
+		e.Int(len(observers))
+		for _, o := range observers {
+			ev := p.trust[s][o]
+			e.Int64(int64(o))
+			e.Float64(ev.Alpha)
+			e.Float64(ev.Beta)
+		}
+	}
+
+	cells := make([]Cell, 0, len(p.adds))
+	for c := range p.adds {
+		cells = append(cells, c)
+	}
+	sortCells(cells)
+	e.Int(len(cells))
+	for _, c := range cells {
+		tags := make([]tag, 0, len(p.adds[c]))
+		for t := range p.adds[c] {
+			tags = append(tags, t)
+		}
+		sortTags(tags)
+		e.Int64(int64(c.X))
+		e.Int64(int64(c.Y))
+		e.Int(len(tags))
+		for _, t := range tags {
+			e.Int64(int64(t.Actor))
+			e.Uint64(t.Seq)
+		}
+	}
+
+	removes := make([]tag, 0, len(p.removes))
+	for t := range p.removes {
+		removes = append(removes, t)
+	}
+	sortTags(removes)
+	e.Int(len(removes))
+	for _, t := range removes {
+		e.Int64(int64(t.Actor))
+		e.Uint64(t.Seq)
+	}
+}
+
+// Decode reconstructs a replica from Encode's output.
+func Decode(data []byte) (*Picture, error) {
+	d := checkpoint.NewDecoder(data)
+	p := NewPicture(asset.ID(d.Int64()))
+	p.seq = d.Uint64()
+
+	nTracks := d.Int()
+	for i := 0; i < nTracks && d.Err() == nil; i++ {
+		k := TrackKey{Actor: asset.ID(d.Int64()), ID: d.Int()}
+		var reg trackReg
+		reg.Fix.Pos.X = d.Float64()
+		reg.Fix.Pos.Y = d.Float64()
+		reg.Fix.Vel.DX = d.Float64()
+		reg.Fix.Vel.DY = d.Float64()
+		reg.Fix.Hits = d.Int()
+		reg.Fix.Confirmed = d.Bool()
+		reg.Stamp.T = time.Duration(d.Int64())
+		reg.Stamp.Actor = asset.ID(d.Int64())
+		p.tracks[k] = reg
+	}
+
+	nSubjects := d.Int()
+	for i := 0; i < nSubjects && d.Err() == nil; i++ {
+		s := asset.ID(d.Int64())
+		nObs := d.Int()
+		obs := make(map[asset.ID]Evidence, nObs)
+		for j := 0; j < nObs && d.Err() == nil; j++ {
+			o := asset.ID(d.Int64())
+			obs[o] = Evidence{Alpha: d.Float64(), Beta: d.Float64()}
+		}
+		p.trust[s] = obs
+	}
+
+	nCells := d.Int()
+	for i := 0; i < nCells && d.Err() == nil; i++ {
+		c := Cell{X: int32(d.Int64()), Y: int32(d.Int64())}
+		nTags := d.Int()
+		tags := make(map[tag]bool, nTags)
+		for j := 0; j < nTags && d.Err() == nil; j++ {
+			tags[tag{Actor: asset.ID(d.Int64()), Seq: d.Uint64()}] = true
+		}
+		p.adds[c] = tags
+	}
+
+	nRemoves := d.Int()
+	for i := 0; i < nRemoves && d.Err() == nil; i++ {
+		p.removes[tag{Actor: asset.ID(d.Int64()), Seq: d.Uint64()}] = true
+	}
+
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("cop: decode: %w", err)
+	}
+	return p, nil
+}
+
+// Digest hashes the deterministic encoding of the replicated state —
+// identity fields excluded, so two converged replicas with different
+// owners digest identically. Equal digests mean equal replicated state.
+func (p *Picture) Digest() uint64 {
+	e := checkpoint.NewEncoder()
+	p.encodeState(e)
+	h := fnv.New64a()
+	_, _ = h.Write(e.Bytes())
+	return h.Sum64()
+}
+
+// Counts summarizes the replica size: tracks, trust pairs, covered
+// cells, tombstones.
+func (p *Picture) Counts() (tracks, trustPairs, covered, tombstones int) {
+	tracks = len(p.tracks)
+	for _, s := range p.Subjects() {
+		trustPairs += len(p.trust[s])
+	}
+	covered = len(p.CoveredCells())
+	tombstones = len(p.removes)
+	return
+}
+
+func sortIDs(ids []asset.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func sortTrackKeys(keys []TrackKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Actor != keys[j].Actor {
+			return keys[i].Actor < keys[j].Actor
+		}
+		return keys[i].ID < keys[j].ID
+	})
+}
+
+func sortCells(cells []Cell) {
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].X != cells[j].X {
+			return cells[i].X < cells[j].X
+		}
+		return cells[i].Y < cells[j].Y
+	})
+}
+
+func sortTags(tags []tag) {
+	sort.Slice(tags, func(i, j int) bool {
+		if tags[i].Actor != tags[j].Actor {
+			return tags[i].Actor < tags[j].Actor
+		}
+		return tags[i].Seq < tags[j].Seq
+	})
+}

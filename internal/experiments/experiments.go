@@ -169,6 +169,7 @@ func All() []Experiment {
 		{"E14", "recovery time vs fault intensity", E14Recovery},
 		{"E15", "command-post failover: none vs cold vs warm", E15Failover},
 		{"E16", "mission service under client flood with worker crashes", E16Service},
+		{"E17", "COP dissemination: gossip vs flooding vs BFS", E17Dissemination},
 	}
 }
 

@@ -17,8 +17,8 @@ func parseF(t *testing.T, s string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -310,7 +310,7 @@ func TestRegistryHasE13(t *testing.T) {
 	if _, ok := Lookup("E13"); !ok {
 		t.Error("E13 missing from registry")
 	}
-	if len(All()) != 16 {
+	if len(All()) != 17 {
 		t.Errorf("registry size = %d", len(All()))
 	}
 }
@@ -346,5 +346,41 @@ func TestE14Shape(t *testing.T) {
 	// Degradation deepens with intensity: success without reflexes falls.
 	if lo, hi := parseF(t, tb.Rows[0][5]), parseF(t, full[5]); hi >= lo {
 		t.Errorf("reflexless success rose with intensity: %.2f -> %.2f", lo, hi)
+	}
+}
+
+func TestE17Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E17 runs six 260s dissemination missions")
+	}
+	tb := E17Dissemination(42, true)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	byMode := map[string][]string{}
+	for _, row := range tb.Rows {
+		byMode[row[0]] = row
+	}
+	// The acceptance bar: gossip reconverges across the partition+heal
+	// (>= 0.95) in the very scenario where BFS unicast strands a majority
+	// of cross-partition traffic (< 0.5).
+	if got := parseF(t, byMode["gossip"][1]); got < 0.95 {
+		t.Errorf("gossip delivery %.3f, want >= 0.95", got)
+	}
+	if got := parseF(t, byMode["bfs"][1]); got >= 0.5 {
+		t.Errorf("bfs delivery %.3f, want < 0.5", got)
+	}
+	// Repairs are what buys the convergence: gossip repaired, the
+	// repairless modes could not.
+	if parseF(t, byMode["gossip"][5]) == 0 {
+		t.Error("gossip converged without a single anti-entropy repair")
+	}
+	for _, mode := range []string{"gossip", "flood", "bfs"} {
+		if byMode[mode][6] != "yes" {
+			t.Errorf("%s mode not deterministic across same-seed reruns", mode)
+		}
+	}
+	if tb.Verification == nil || len(tb.Verification.Violations) != 0 {
+		t.Errorf("invariant violations during E17: %+v", tb.Verification)
 	}
 }

@@ -62,6 +62,11 @@ const (
 	// (`failover warm|cold`). Warm restores the last checkpoint and
 	// requeues the checkpointed ARQ window; cold rebuilds from scratch.
 	Failover
+	// Heal ends, at At, every partition that began at or before At —
+	// including unbounded ones (`partition` with no `for=`), which is
+	// what makes "partition … heal" scenarios expressible: the gossip
+	// experiments cut the map indefinitely and then reconnect it.
+	Heal
 )
 
 // String names the kind (also the plan-DSL verb).
@@ -87,6 +92,8 @@ func (k Kind) String() string {
 		return "crash"
 	case Failover:
 		return "failover"
+	case Heal:
+		return "heal"
 	default:
 		return "unknown"
 	}
@@ -127,6 +134,9 @@ type Fault struct {
 	// X, when nonzero, makes a Partition cut all links crossing the
 	// vertical line x=X.
 	X float64
+	// Region scopes a rectangular jam footprint (`jam region`); it is
+	// consulted only when Area is unset.
+	Region geo.Rect
 	// Intensity is the jam strength in [0,1].
 	Intensity float64
 	// Fraction is the kill-wave victim fraction in [0,1].
@@ -153,7 +163,7 @@ func (f Fault) windowed() bool {
 	switch f.Kind {
 	case Partition, JamWave, Corrupt, Delay, ChurnSpike, Smoke:
 		return true
-	case KillWave, CommandPostLoss, CrashPost, Failover:
+	case KillWave, CommandPostLoss, CrashPost, Failover, Heal:
 		return false
 	}
 	return false
@@ -275,7 +285,7 @@ func Apply(t Target, p *Plan) *Injector {
 			}
 		case JamWave:
 			t.Jam.Add(attack.Jammer{
-				Area: f.Area, Intensity: f.Intensity,
+				Area: f.Area, Region: f.Region, Intensity: f.Intensity,
 				From: f.At, Until: f.End(),
 			})
 		case Smoke:
@@ -302,6 +312,10 @@ func Apply(t Target, p *Plan) *Injector {
 			})
 		case ChurnSpike:
 			inj.scheduleChurnSpike(f)
+		case Heal:
+			// The heal itself acts through linkCut consulting the plan;
+			// refresh at the instant so topology reconnects promptly.
+			t.Eng.ScheduleAt(f.At, "fault.heal", t.Net.Refresh)
 		}
 	}
 	if hasPartition {
@@ -314,12 +328,12 @@ func Apply(t Target, p *Plan) *Injector {
 }
 
 // linkCut implements active partitions: a link is severed when any
-// active partition fault separates its endpoints.
+// active, un-healed partition fault separates its endpoints.
 func (inj *Injector) linkCut(a, b geo.Point) bool {
 	now := inj.t.Eng.Now()
 	for i := range inj.plan.Faults {
 		f := &inj.plan.Faults[i]
-		if f.Kind != Partition || !f.activeAt(now) {
+		if f.Kind != Partition || !f.activeAt(now) || inj.healed(f, now) {
 			continue
 		}
 		if f.X != 0 {
@@ -329,6 +343,18 @@ func (inj *Injector) linkCut(a, b geo.Point) bool {
 			continue
 		}
 		if f.Area.Radius > 0 && f.Area.Contains(a) != f.Area.Contains(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// healed reports whether a Heal fault has ended partition f by now: a
+// heal at time h ends every partition whose onset is at or before h.
+func (inj *Injector) healed(f *Fault, now time.Duration) bool {
+	for i := range inj.plan.Faults {
+		h := &inj.plan.Faults[i]
+		if h.Kind == Heal && h.At >= f.At && h.At <= now {
 			return true
 		}
 	}

@@ -308,6 +308,136 @@ func TestPartitionSeversCrossLinks(t *testing.T) {
 	}
 }
 
+func TestHealEndsUnboundedPartition(t *testing.T) {
+	eng := sim.NewEngine(7)
+	terr := geo.NewOpenTerrain(1000, 1000)
+	pop := asset.NewPopulation(terr)
+	caps := asset.DefaultCaps(asset.ClassSensor)
+	caps.RadioRange = 200
+	for i := 0; i < 2; i++ {
+		a := &asset.Asset{Class: asset.ClassSensor, Caps: caps, Online: true,
+			Mobility: &geo.Static{P: geo.Point{X: 450 + 100*float64(i), Y: 500}}}
+		a.Energy = caps.EnergyCap
+		pop.Add(a)
+	}
+	cfg := mesh.DefaultConfig()
+	cfg.StepMobility = false
+	net := mesh.New(eng, pop, terr, cfg)
+	tgt := Target{Eng: eng, Pop: pop, Net: net, Jam: attack.NewField(eng)}
+	// The partition has no for=: without the heal it would last to the
+	// horizon. The heal at 40s must end it.
+	plan := (&Plan{Name: "healcut"}).
+		Add(Fault{Kind: Partition, At: 10 * time.Second, X: 500}).
+		Add(Fault{Kind: Heal, At: 40 * time.Second})
+	Apply(tgt, plan)
+
+	send := func() bool {
+		ok := false
+		net.RegisterHandler(1, func(mesh.Message) { ok = true })
+		//iobt:allow errdrop connectivity probe: a refused send during the partition window is the expected outcome the delivery flag asserts
+		_ = net.Send(mesh.Message{From: 0, To: 1, Size: 10, Kind: "probe"})
+		_ = eng.Run(2 * time.Second)
+		return ok
+	}
+	if !send() {
+		t.Fatal("no delivery before the partition")
+	}
+	_ = eng.Run(9 * time.Second) // into the open-ended window
+	if send() {
+		t.Error("delivery across an active unbounded partition")
+	}
+	_ = eng.Run(30 * time.Second) // past the heal instant
+	if !send() {
+		t.Error("no delivery after heal ended the unbounded partition")
+	}
+}
+
+func TestHealOnlyEndsEarlierPartitions(t *testing.T) {
+	// A heal must not end partitions that begin after it.
+	inj := &Injector{plan: (&Plan{Name: "order"}).
+		Add(Fault{Kind: Partition, At: 10 * time.Second, X: 500}).
+		Add(Fault{Kind: Heal, At: 20 * time.Second}).
+		Add(Fault{Kind: Partition, At: 30 * time.Second, X: 500})}
+	early := &inj.plan.Faults[0]
+	late := &inj.plan.Faults[2]
+	if inj.healed(early, 15*time.Second) {
+		t.Error("partition healed before the heal instant")
+	}
+	if !inj.healed(early, 25*time.Second) {
+		t.Error("earlier partition not healed after the heal instant")
+	}
+	if inj.healed(late, 40*time.Second) {
+		t.Error("heal ended a partition that began after it")
+	}
+}
+
+func TestJamRegionFootprint(t *testing.T) {
+	tgt := testTarget(t, 103)
+	defer tgt.Net.Stop()
+	plan := (&Plan{Name: "regionjam"}).Add(Fault{
+		Kind: JamWave, At: time.Second, Duration: time.Minute,
+		Region:    geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 500, Y: 1000}),
+		Intensity: 0.9,
+	})
+	Apply(tgt, plan)
+	// Sample from inside a scheduled event: the engine clock advances
+	// with events, and Field.At reads the clock for the window check.
+	var inside, outside float64
+	tgt.Eng.ScheduleAt(2*time.Second, "test.sample", func() {
+		inside = tgt.Jam.At(geo.Point{X: 250, Y: 500})
+		outside = tgt.Jam.At(geo.Point{X: 750, Y: 500})
+	})
+	if err := tgt.Eng.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if inside != 0.9 {
+		t.Errorf("intensity inside the region = %v, want 0.9", inside)
+	}
+	if outside != 0 {
+		t.Errorf("intensity outside the region = %v, want 0", outside)
+	}
+}
+
+func TestParseHealAndJamRegion(t *testing.T) {
+	p, err := Parse(`
+plan gossip
+partition at=30s x=600
+jam region at=1m0s for=2m0s x0=200 y0=100 x1=600 y1=700 intensity=0.8
+heal at=2m0s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) != 3 {
+		t.Fatalf("parsed %d faults, want 3", len(p.Faults))
+	}
+	if f := p.Faults[0]; f.Kind != Partition || f.Duration != 0 || f.X != 600 {
+		t.Errorf("unbounded partition parsed as %+v", f)
+	}
+	want := geo.Rect{Min: geo.Point{X: 200, Y: 100}, Max: geo.Point{X: 600, Y: 700}}
+	if f := p.Faults[1]; f.Kind != JamWave || f.Region != want || f.Intensity != 0.8 ||
+		f.Area.Radius != 0 {
+		t.Errorf("jam region parsed as %+v", f)
+	}
+	if f := p.Faults[2]; f.Kind != Heal || f.At != 2*time.Minute {
+		t.Errorf("heal parsed as %+v", f)
+	}
+
+	rendered := p.String()
+	p2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of rendered plan: %v\n%s", err, rendered)
+	}
+	for i := range p.Faults {
+		if p.Faults[i] != p2.Faults[i] {
+			t.Errorf("fault %d round-tripped %+v -> %+v", i, p.Faults[i], p2.Faults[i])
+		}
+	}
+	if !strings.Contains(rendered, "jam region") {
+		t.Errorf("rendered plan lost the region operand:\n%s", rendered)
+	}
+}
+
 func TestCorruptAndDelayHopFaults(t *testing.T) {
 	eng := sim.NewEngine(6)
 	terr := geo.NewOpenTerrain(1000, 1000)

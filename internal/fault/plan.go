@@ -17,7 +17,9 @@ import (
 //	plan standard
 //	partition at=30s for=60s x=600
 //	partition at=30s for=60s cx=500 cy=500 r=250
+//	heal      at=2m
 //	jam       at=60s for=60s cx=600 cy=600 r=300 intensity=0.9
+//	jam       region at=60s for=60s x0=200 y0=200 x1=600 y1=600 intensity=0.9
 //	kill      at=90s frac=0.33 of=composite
 //	cploss    at=95s
 //	corrupt   at=2m for=30s prob=0.2
@@ -29,7 +31,11 @@ import (
 //	failover  cold at=2m30s
 //
 // The crash and failover verbs take a positional operand (the crash
-// target, the promotion disposition) before the key=value fields.
+// target, the promotion disposition) before the key=value fields; jam
+// takes an optional `region` operand selecting a rectangular footprint
+// (x0/y0/x1/y1) instead of a circular one. The heal verb ends, at its
+// own `at`, every partition that began at or before that instant —
+// including unbounded ones (`partition at=30s x=600` with no for=).
 
 // Parse reads a plan in the DSL above.
 func Parse(src string) (*Plan, error) {
@@ -64,6 +70,8 @@ func parseFault(verb string, kvs []string) (Fault, error) {
 	switch verb {
 	case "partition":
 		f.Kind = Partition
+	case "heal":
+		f.Kind = Heal
 	case "jam":
 		f.Kind = JamWave
 	case "kill":
@@ -105,6 +113,12 @@ func parseFault(verb string, kvs []string) (Fault, error) {
 			return f, fmt.Errorf("failover: want operand \"warm\" or \"cold\", got %q", kvs[0])
 		}
 		kvs = kvs[1:]
+	case JamWave:
+		// Optional `region` operand: a rectangular footprint given by
+		// x0/y0/x1/y1 instead of the circular cx/cy/r one.
+		if len(kvs) > 0 && strings.ToLower(kvs[0]) == "region" {
+			kvs = kvs[1:]
+		}
 	default:
 		// The remaining kinds take no positional operands; everything
 		// after the verb is key=value fields.
@@ -130,6 +144,14 @@ func parseFault(verb string, kvs []string) (Fault, error) {
 			f.Area.Center.Y, err = parseNum(v)
 		case "r":
 			f.Area.Radius, err = parseNum(v)
+		case "x0":
+			f.Region.Min.X, err = parseNum(v)
+		case "y0":
+			f.Region.Min.Y, err = parseNum(v)
+		case "x1":
+			f.Region.Max.X, err = parseNum(v)
+		case "y1":
+			f.Region.Max.Y, err = parseNum(v)
 		case "intensity":
 			f.Intensity, err = parseNum(v)
 		case "frac":
@@ -181,9 +203,13 @@ func (f Fault) String() string {
 		} else {
 			b.WriteString(" cold")
 		}
+	case JamWave:
+		if f.Region != (geo.Rect{}) {
+			b.WriteString(" region")
+		}
 	default:
-		// Mirrors the parser: only crash and failover carry
-		// positional operands.
+		// Mirrors the parser: only crash, failover, and rectangular
+		// jam carry positional operands.
 	}
 	fmt.Fprintf(&b, " at=%s", f.At)
 	// Every nonzero field is emitted — even ones inert for this kind —
@@ -198,6 +224,10 @@ func (f Fault) String() string {
 	if f.Area.Center.X != 0 || f.Area.Center.Y != 0 || f.Area.Radius != 0 {
 		fmt.Fprintf(&b, " cx=%s cy=%s r=%s",
 			ftoa(f.Area.Center.X), ftoa(f.Area.Center.Y), ftoa(f.Area.Radius))
+	}
+	if f.Region != (geo.Rect{}) {
+		fmt.Fprintf(&b, " x0=%s y0=%s x1=%s y1=%s",
+			ftoa(f.Region.Min.X), ftoa(f.Region.Min.Y), ftoa(f.Region.Max.X), ftoa(f.Region.Max.Y))
 	}
 	if f.Intensity != 0 {
 		fmt.Fprintf(&b, " intensity=%s", ftoa(f.Intensity))

@@ -72,6 +72,8 @@ func FuzzParsePlan(f *testing.F) {
 	f.Add("crash post at=2m\nfailover warm at=2m30s")
 	f.Add("crash post at=2m\nfailover cold at=2m30s")
 	f.Add("# comment\n\nplan x\nkill at=1s frac=1e-3")
+	f.Add("partition at=30s x=600\nheal at=2m")
+	f.Add("jam region at=1m for=1m x0=200 y0=200 x1=600 y1=600 intensity=0.9")
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := Parse(src)
 		if err != nil {

@@ -337,5 +337,10 @@ func (n *Network) Nodes() []NodeID {
 // previous handler.
 func (n *Network) RegisterHandler(id NodeID, h Handler) { n.handlers[id] = h }
 
+// Handler returns the currently registered delivery handler for id (nil
+// when none). Overlays that take over a node's handler use it to chain
+// the previous one rather than silently dropping its traffic.
+func (n *Network) Handler(id NodeID) Handler { return n.handlers[id] }
+
 // UnregisterHandler removes a node's handler.
 func (n *Network) UnregisterHandler(id NodeID) { delete(n.handlers, id) }

@@ -84,3 +84,148 @@ func TestFailInflightColdDisposition(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWindowEmptySnapshotDispositions covers the zero-capacity edges:
+// an empty window snapshots and restores as a no-op, and restoring an
+// empty snapshot onto a window with live exchanges fails every one of
+// them — the snapshot knows no exchange, so they are all post-cut.
+func TestWindowEmptySnapshotDispositions(t *testing.T) {
+	eng, net := lossyPair(t, 0, 9)
+	r := NewReliable(eng, net)
+	r.Register(1, func(Message) {})
+
+	empty := r.Snapshot()
+	if err := r.Restore(empty); err != nil {
+		t.Fatalf("Restore of empty snapshot on empty window: %v", err)
+	}
+	if n := r.FailInflight(); n != 0 {
+		t.Fatalf("FailInflight on empty window = %d, want 0", n)
+	}
+	if err := r.Restore(nil); err == nil {
+		t.Fatal("Restore accepted a nil buffer")
+	}
+
+	net.SetHopFault(func(*Message) HopEffect { return HopEffect{Drop: true} })
+	failed := 0
+	for i := 0; i < 3; i++ {
+		r.Send(Message{From: 0, To: 1, Size: 64, Kind: "order"}, nil, func() { failed++ })
+	}
+	if err := r.Restore(empty); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if failed != 3 || r.InflightCount() != 0 {
+		t.Fatalf("failed=%d inflight=%d, want 3/0 after empty-snapshot restore",
+			failed, r.InflightCount())
+	}
+	if got := r.Requeued.Value(); got != 0 {
+		t.Fatalf("Requeued = %d, want 0", got)
+	}
+	_ = eng.Run(time.Minute)
+	if err := net.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowTruncatedSnapshotRejected pins the decode guard: a snapshot
+// cut short anywhere must be rejected with an error and must leave the
+// live window untouched — no exchange failed, requeued, or lost.
+func TestWindowTruncatedSnapshotRejected(t *testing.T) {
+	eng, net := lossyPair(t, 0, 10)
+	r := NewReliable(eng, net)
+	r.Register(1, func(Message) {})
+	net.SetHopFault(func(*Message) HopEffect { return HopEffect{Drop: true} })
+	failed := 0
+	for i := 0; i < 2; i++ {
+		r.Send(Message{From: 0, To: 1, Size: 64, Kind: "order"}, nil, func() { failed++ })
+	}
+	snap := r.Snapshot()
+	for cut := 1; cut < len(snap); cut += 7 {
+		if err := r.Restore(snap[:len(snap)-cut]); err == nil {
+			t.Fatalf("snapshot truncated by %d bytes accepted", cut)
+		}
+	}
+	if r.InflightCount() != 2 || failed != 0 || r.Requeued.Value() != 0 {
+		t.Fatalf("rejected restore disturbed the window: inflight=%d failed=%d requeued=%d",
+			r.InflightCount(), failed, r.Requeued.Value())
+	}
+	_ = eng.Run(time.Minute)
+	if err := net.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowLateDuplicateAcksAfterRequeue covers the duplicate-seq
+// edges: repeated restores requeue the same exchange without duplicating
+// it, a late ACK from a pre-crash attempt still completes it (the seq
+// survives the requeue), and the duplicate ACK that follows is counted
+// as late and ignored rather than double-completing.
+func TestWindowLateDuplicateAcksAfterRequeue(t *testing.T) {
+	eng, net := lossyPair(t, 0, 11)
+	r := NewReliable(eng, net)
+	r.Register(1, func(Message) {})
+	net.SetHopFault(func(*Message) HopEffect { return HopEffect{Drop: true} })
+	acked := 0
+	r.Send(Message{From: 0, To: 1, Size: 64, Kind: "order"}, func() { acked++ }, nil)
+	snap := r.Snapshot()
+
+	if err := r.Restore(snap); err != nil {
+		t.Fatalf("first restore: %v", err)
+	}
+	if err := r.Restore(snap); err != nil {
+		t.Fatalf("second restore: %v", err)
+	}
+	if got := r.Requeued.Value(); got != 2 {
+		t.Fatalf("Requeued = %d, want 2 (one per restore)", got)
+	}
+	if r.InflightCount() != 1 {
+		t.Fatalf("inflight = %d, want 1: requeue must not duplicate the exchange", r.InflightCount())
+	}
+
+	ack := Message{From: 1, To: 0, Size: 32, Kind: "rel:0:ack"}
+	r.onReceive(0, ack)
+	if acked != 1 || r.InflightCount() != 0 {
+		t.Fatalf("acked=%d inflight=%d after late ACK, want 1/0", acked, r.InflightCount())
+	}
+	r.onReceive(0, ack)
+	if acked != 1 {
+		t.Fatalf("duplicate ACK double-completed the exchange: acked=%d", acked)
+	}
+	if got := r.LateAcks.Value(); got != 1 {
+		t.Fatalf("LateAcks = %d, want 1", got)
+	}
+	_ = eng.Run(time.Minute)
+	if err := net.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowSnapshotDoesNotResurrectRetiredSeq covers seq reuse across
+// a failover: a snapshot naming an exchange that exhausted its budget
+// between the cut and the restore must not resurrect the retired seq.
+func TestWindowSnapshotDoesNotResurrectRetiredSeq(t *testing.T) {
+	eng, net := lossyPair(t, 0, 12)
+	r := NewReliable(eng, net)
+	r.Register(1, func(Message) {})
+	r.MaxRetries = 0 // one attempt, then the budget is spent
+	net.SetHopFault(func(*Message) HopEffect { return HopEffect{Drop: true} })
+	failed := 0
+	r.Send(Message{From: 0, To: 1, Size: 64, Kind: "order"}, nil, func() { failed++ })
+	snap := r.Snapshot() // names the seq while it is still live
+
+	_ = eng.Run(time.Minute)
+	if failed != 1 || r.InflightCount() != 0 {
+		t.Fatalf("failed=%d inflight=%d, want the exchange exhausted before restore",
+			failed, r.InflightCount())
+	}
+
+	if err := r.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if r.InflightCount() != 0 || r.Requeued.Value() != 0 || failed != 1 {
+		t.Fatalf("retired seq resurrected: inflight=%d requeued=%d failed=%d",
+			r.InflightCount(), r.Requeued.Value(), failed)
+	}
+	if err := net.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

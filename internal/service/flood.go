@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"iobt/internal/sim"
 	"iobt/internal/verify"
 )
 
@@ -88,7 +89,26 @@ func (c FloodConfig) withDefaults() FloodConfig {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Minute
 	}
+	if c.Service.RetryAfterHint == 0 {
+		// The flood's whole point is to cycle backpressure quickly; the
+		// production 1s default would serialize the run behind sleeps.
+		c.Service.RetryAfterHint = 2 * time.Millisecond
+	}
 	return c
+}
+
+// retryWait converts the service's Retry-After hint into one client's
+// actual backoff: the hint plus up to 50% deterministic jitter, so
+// rejected clients spread out instead of re-colliding in lockstep at
+// exactly the advertised instant.
+func retryWait(hint time.Duration, rng *sim.RNG) time.Duration {
+	if hint <= 0 {
+		hint = 2 * time.Millisecond
+	}
+	if q := int(hint / 2); q > 0 {
+		hint += time.Duration(rng.Intn(q + 1))
+	}
+	return hint
 }
 
 // floodScenario builds mission i's scenario: small open-terrain worlds,
@@ -132,17 +152,22 @@ func Flood(cfg FloodConfig) (*FloodReport, error) {
 	var wg sync.WaitGroup
 	wg.Add(cfg.Clients)
 	for c := 0; c < cfg.Clients; c++ {
-		go func() {
+		go func(client int) {
 			defer wg.Done()
+			// Each client jitters its retries from its own seed-derived
+			// stream, so the backoff pattern is reproducible run to run.
+			rng := sim.NewRNG(cfg.BaseSeed).Derive(fmt.Sprintf("flood.client.%d", client))
 			for sc := range work {
-				// A real client retries on 429 backpressure; count the
-				// retries so the report shows the queue actually pushed back.
+				// A real client retries on 429 backpressure, honoring the
+				// server's Retry-After hint; count the retries so the report
+				// shows the queue actually pushed back.
 				for {
 					_, err := svc.SubmitScenario(sc)
 					if err == nil {
 						break
 					}
-					if !errors.Is(err, ErrQueueFull) {
+					var qf *QueueFullError
+					if !errors.As(err, &qf) {
 						mu.Lock()
 						if submitErr == nil {
 							submitErr = err
@@ -153,10 +178,10 @@ func Flood(cfg FloodConfig) (*FloodReport, error) {
 					mu.Lock()
 					retried++
 					mu.Unlock()
-					time.Sleep(2 * time.Millisecond)
+					time.Sleep(retryWait(qf.RetryAfter, rng))
 				}
 			}
-		}()
+		}(c)
 	}
 	wg.Wait()
 	if submitErr != nil {

@@ -3,7 +3,32 @@ package service
 import (
 	"testing"
 	"time"
+
+	"iobt/internal/sim"
 )
+
+// TestRetryWait pins the client backoff contract: the server's hint is
+// the floor, jitter adds at most 50%, a missing hint falls back to the
+// 2ms flood default, and the same seed stream reproduces the same waits.
+func TestRetryWait(t *testing.T) {
+	rng := sim.NewRNG(77).Derive("flood.client.0")
+	for i := 0; i < 200; i++ {
+		hint := 10 * time.Millisecond
+		w := retryWait(hint, rng)
+		if w < hint || w > hint+hint/2 {
+			t.Fatalf("wait %v outside [%v, %v]", w, hint, hint+hint/2)
+		}
+	}
+	if w := retryWait(0, sim.NewRNG(77).Derive("x")); w < 2*time.Millisecond || w > 3*time.Millisecond {
+		t.Errorf("zero hint wait = %v, want within [2ms, 3ms]", w)
+	}
+	a, b := sim.NewRNG(9).Derive("flood.client.1"), sim.NewRNG(9).Derive("flood.client.1")
+	for i := 0; i < 50; i++ {
+		if wa, wb := retryWait(time.Second, a), retryWait(time.Second, b); wa != wb {
+			t.Fatalf("same stream diverged at %d: %v vs %v", i, wa, wb)
+		}
+	}
+}
 
 // TestFloodReport runs a small client flood through a deliberately
 // narrow queue with chaos crashes and checks the report's accounting:

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // The HTTP surface of iobtd: submit a .scn scenario, watch missions,
@@ -45,6 +47,21 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// retryAfterSeconds renders the hint carried by a QueueFullError as the
+// Retry-After value: whole seconds, rounded up, never below 1 (RFC 9110
+// allows only integral seconds or an HTTP date).
+func retryAfterSeconds(err error) string {
+	var qf *QueueFullError
+	if errors.As(err, &qf) && qf.RetryAfter > 0 {
+		secs := int64((qf.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return strconv.FormatInt(secs, 10)
+	}
+	return "1"
+}
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxScenarioBytes))
 	if err != nil {
@@ -54,7 +71,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	m, err := s.Submit(string(body))
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterSeconds(err))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
@@ -88,12 +105,15 @@ func (s *Service) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
+	// A draining service is alive but no longer admitting; health flips
+	// to 503 so load balancers rotate it out while in-flight missions
+	// finish, instead of routing submissions into guaranteed rejections.
+	status, code := "ok", http.StatusOK
 	if s.Draining() {
-		status = "draining"
+		status, code = "draining", http.StatusServiceUnavailable
 	}
 	t := s.Telemetry()
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, code, map[string]any{
 		"status":  status,
 		"queued":  t.Queued,
 		"running": t.Running,

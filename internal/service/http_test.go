@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +12,30 @@ import (
 	"testing"
 	"time"
 )
+
+// TestRetryAfterSeconds pins the header rendering: whole seconds rounded
+// up, floor of 1, and "1" for untyped queue-full errors.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{&QueueFullError{RetryAfter: 2500 * time.Millisecond}, "3"},
+		{&QueueFullError{RetryAfter: 2 * time.Second}, "2"},
+		{&QueueFullError{RetryAfter: 400 * time.Millisecond}, "1"},
+		{&QueueFullError{}, "1"},
+		{ErrQueueFull, "1"},
+		{fmt.Errorf("wrap: %w", &QueueFullError{RetryAfter: 61 * time.Second}), "61"},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.err); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+	if !errors.Is(&QueueFullError{RetryAfter: time.Second}, ErrQueueFull) {
+		t.Error("QueueFullError does not unwrap to ErrQueueFull")
+	}
+}
 
 func postScenario(t *testing.T, srv *httptest.Server, body string) (*http.Response, MissionView) {
 	t.Helper()
@@ -137,11 +163,12 @@ func TestHTTPBackpressureAndDrainCodes(t *testing.T) {
 	// restarts) so admitted missions pile up behind it and the bounded
 	// queue pushes back over HTTP.
 	svc := New(Config{
-		Workers:     1,
-		QueueDepth:  1,
-		StallAfter:  -1,
-		MaxRestarts: -1,
-		Chaos:       ChaosConfig{CrashProb: 1, AtFrac: 0.3, Stall: true},
+		Workers:        1,
+		QueueDepth:     1,
+		StallAfter:     -1,
+		MaxRestarts:    -1,
+		RetryAfterHint: 3 * time.Second,
+		Chaos:          ChaosConfig{CrashProb: 1, AtFrac: 0.3, Stall: true},
 	})
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()
@@ -153,8 +180,9 @@ func TestHTTPBackpressureAndDrainCodes(t *testing.T) {
 		switch resp.StatusCode {
 		case http.StatusTooManyRequests:
 			got429 = true
-			if resp.Header.Get("Retry-After") == "" {
-				t.Error("429 without Retry-After")
+			// The header is the configured admission hint, not a constant.
+			if got := resp.Header.Get("Retry-After"); got != "3" {
+				t.Errorf("429 Retry-After = %q, want %q", got, "3")
 			}
 		case http.StatusAccepted:
 		default:
@@ -188,6 +216,25 @@ func TestHTTPBackpressureAndDrainCodes(t *testing.T) {
 	resp, _ := postScenario(t, srv, smallScenario(3301).String())
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("draining submit status = %d, want 503", resp.StatusCode)
+	}
+
+	// Health flips to 503/"draining" too, so balancers stop routing here.
+	hr, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz while draining: %v", err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatalf("decode draining healthz: %v", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz status = %d, want 503", hr.StatusCode)
+	}
+	if health.Status != "draining" {
+		t.Errorf("draining healthz body status = %q, want %q", health.Status, "draining")
 	}
 	drainDone.Wait()
 }

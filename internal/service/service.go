@@ -37,12 +37,31 @@ var (
 	ErrDraining = errors.New("service: draining, not accepting missions")
 )
 
+// QueueFullError is the concrete queue-full rejection: it unwraps to
+// ErrQueueFull (so errors.Is keeps working) and carries the retry hint
+// that the HTTP layer advertises as the Retry-After header and that
+// well-behaved clients honor before resubmitting.
+type QueueFullError struct {
+	// RetryAfter is how long the client should wait before retrying.
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", ErrQueueFull, e.RetryAfter)
+}
+
+func (e *QueueFullError) Unwrap() error { return ErrQueueFull }
+
 // Config tunes the service. Zero values take the stated defaults.
 type Config struct {
 	// Workers is the worker-pool size (default 4).
 	Workers int
 	// QueueDepth bounds the admission queue (default 64).
 	QueueDepth int
+	// RetryAfterHint is the backpressure interval advertised with
+	// queue-full rejections: QueueFullError carries it and the HTTP layer
+	// renders it as Retry-After (default 1s).
+	RetryAfterHint time.Duration
 	// MaxRestarts bounds supervised restarts per mission before
 	// quarantine (default 3). Negative: no restarts.
 	MaxRestarts int
@@ -105,6 +124,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.RetryAfterHint <= 0 {
+		c.RetryAfterHint = time.Second
 	}
 	if c.MaxRestarts == 0 {
 		c.MaxRestarts = 3
@@ -260,7 +282,7 @@ func (s *Service) SubmitScenario(sc verify.Scenario) (*Mission, error) {
 	case s.queue <- m:
 	default:
 		s.tel.rejectedFull.Add(1)
-		return nil, ErrQueueFull
+		return nil, &QueueFullError{RetryAfter: s.cfg.RetryAfterHint}
 	}
 	s.byID[m.ID] = m
 	s.order = append(s.order, m)

@@ -48,7 +48,7 @@ func TestSubmitParsesAndDefaultsCheckpoint(t *testing.T) {
 // workers draining it and requires ErrQueueFull — the 429 path.
 func TestAdmissionControlRejectsWhenFull(t *testing.T) {
 	// One worker, blocked by a long mission; queue depth 2.
-	svc := New(Config{Workers: 1, QueueDepth: 2})
+	svc := New(Config{Workers: 1, QueueDepth: 2, RetryAfterHint: 2500 * time.Millisecond})
 	defer svc.Close()
 	// The worker picks up the first mission almost immediately; fill the
 	// queue behind it until rejection.
@@ -57,6 +57,15 @@ func TestAdmissionControlRejectsWhenFull(t *testing.T) {
 		_, err := svc.SubmitScenario(smallScenario(int64(2200 + i)))
 		if errors.Is(err, ErrQueueFull) {
 			full++
+			// The rejection is typed: it carries the configured retry hint
+			// for clients (and the HTTP Retry-After header) to honor.
+			var qf *QueueFullError
+			if !errors.As(err, &qf) {
+				t.Fatalf("queue-full rejection is not a *QueueFullError: %v", err)
+			}
+			if qf.RetryAfter != 2500*time.Millisecond {
+				t.Errorf("RetryAfter hint = %v, want 2.5s", qf.RetryAfter)
+			}
 			break
 		}
 		if err != nil {

@@ -247,3 +247,39 @@ func TestScenarioRMSEBounded(t *testing.T) {
 		t.Error("no sensor handoff recorded")
 	}
 }
+
+func TestFixesExport(t *testing.T) {
+	tr := NewTracker(Config{})
+	rng := sim.NewRNG(3)
+	// Feed one target enough detections to confirm it.
+	for i := 0; i < 5; i++ {
+		now := time.Duration(i) * time.Second
+		tr.Observe(now, []Detection{{
+			Pos:    geo.Point{X: 100 + 5*float64(i) + rng.Norm(0, 1), Y: 200 + rng.Norm(0, 1)},
+			Var:    4,
+			Sensor: 1,
+		}})
+	}
+	fixes := tr.Fixes()
+	if len(fixes) == 0 {
+		t.Fatal("no fixes exported")
+	}
+	var confirmed int
+	for i, f := range fixes {
+		if i > 0 && fixes[i-1].ID >= f.ID {
+			t.Fatal("fixes not ascending by ID")
+		}
+		if f.Confirmed {
+			confirmed++
+			if f.Hits < 3 {
+				t.Errorf("confirmed fix with %d hits", f.Hits)
+			}
+			if math.Abs(f.Pos.X-120) > 20 || math.Abs(f.Pos.Y-200) > 20 {
+				t.Errorf("fix position %v far from truth", f.Pos)
+			}
+		}
+	}
+	if confirmed == 0 {
+		t.Error("expected at least one confirmed fix")
+	}
+}

@@ -90,6 +90,26 @@ func (tr *Tracker) Tracks() []*Track {
 // All returns every track including tentative ones.
 func (tr *Tracker) All() []*Track { return tr.tracks }
 
+// Fix is a point-in-time export of one track for replication: the value
+// side of the common operational picture's LWW registers (internal/cop).
+type Fix struct {
+	ID        int
+	Pos       geo.Point
+	Vel       geo.Vec
+	Hits      int
+	Confirmed bool
+}
+
+// Fixes exports every track, tentative ones included, ascending by ID.
+func (tr *Tracker) Fixes() []Fix {
+	out := make([]Fix, 0, len(tr.tracks))
+	for _, t := range tr.tracks {
+		out = append(out, Fix{ID: t.ID, Pos: t.Pos(), Vel: t.Vel(), Hits: t.Hits, Confirmed: t.Confirmed()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Observe advances all tracks to now, associates the detection batch
 // (greedy nearest-neighbor within the gate), updates matched tracks,
 // spawns tentative tracks for unmatched detections, and drops tracks

@@ -204,6 +204,43 @@ func (l *Ledger) EvidenceTotal() float64 {
 	return total
 }
 
+// Evidence returns id's accumulated Beta evidence (alpha, beta), or the
+// prior if the node is unseen. The replicated common operational picture
+// (internal/cop) exports these pairs as grow-only counters.
+func (l *Ledger) Evidence(id asset.ID) (alpha, beta float64) {
+	r, ok := l.records[id]
+	if !ok {
+		return l.priorAlpha, l.priorBeta
+	}
+	return r.alpha, r.beta
+}
+
+// IDs returns every node with recorded evidence, ascending.
+func (l *Ledger) IDs() []asset.ID {
+	ids := make([]asset.ID, 0, len(l.records))
+	for id := range l.records {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// MergeEvidence folds replicated evidence about id into the ledger as a
+// pointwise max — the CRDT join, so merging is idempotent and never
+// regresses locally accumulated evidence. Decay between merges can make
+// the local pair dip below a previously merged value; the max then
+// restores the replicated floor, which is the intended convergence
+// semantic.
+func (l *Ledger) MergeEvidence(id asset.ID, alpha, beta float64) {
+	r := l.rec(id)
+	if alpha > r.alpha {
+		r.alpha = alpha
+	}
+	if beta > r.beta {
+		r.beta = beta
+	}
+}
+
 // SnapshotName implements checkpoint.Snapshotter.
 func (l *Ledger) SnapshotName() string { return "trust" }
 

@@ -197,3 +197,39 @@ func TestEvidenceTotalDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestEvidenceExportAndIDs(t *testing.T) {
+	l := NewLedger()
+	if a, b := l.Evidence(7); a != 1 || b != 1 {
+		t.Errorf("unseen evidence = (%v,%v), want the (1,1) prior", a, b)
+	}
+	l.Observe(7, EvMission, true)
+	l.Observe(3, EvAnomaly, false)
+	a, b := l.Evidence(7)
+	if a != 4 || b != 1 {
+		t.Errorf("evidence(7) = (%v,%v), want (4,1)", a, b)
+	}
+	ids := l.IDs()
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 7 {
+		t.Errorf("IDs = %v, want [3 7] ascending", ids)
+	}
+}
+
+func TestMergeEvidenceNeverRegresses(t *testing.T) {
+	l := NewLedger()
+	l.Observe(5, EvMission, true) // alpha 4, beta 1
+	l.MergeEvidence(5, 2, 6)      // alpha stays 4, beta lifts to 6
+	if a, b := l.Evidence(5); a != 4 || b != 6 {
+		t.Errorf("evidence = (%v,%v), want (4,6)", a, b)
+	}
+	// Idempotent: re-merging the same replicated pair changes nothing.
+	l.MergeEvidence(5, 2, 6)
+	if a, b := l.Evidence(5); a != 4 || b != 6 {
+		t.Errorf("re-merge moved evidence to (%v,%v)", a, b)
+	}
+	// Merging into an unseen node starts from the prior and lifts.
+	l.MergeEvidence(9, 10, 1)
+	if a, b := l.Evidence(9); a != 10 || b != 1 {
+		t.Errorf("merged unseen = (%v,%v), want (10,1)", a, b)
+	}
+}

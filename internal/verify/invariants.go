@@ -6,6 +6,8 @@ import (
 	"math"
 	"time"
 
+	"iobt/internal/asset"
+	"iobt/internal/cop"
 	"iobt/internal/core"
 	"iobt/internal/mesh"
 	"iobt/internal/sim"
@@ -165,6 +167,35 @@ func TimeMonotone(now func() time.Duration) Invariant {
 			return fmt.Errorf("clock went backwards: %s -> %s", prev, n)
 		}
 		prev = n
+		return nil
+	}}
+}
+
+// GossipConservation wraps the epidemic overlay's conservation law:
+// every held payload traces to an origin publish, first-time deliveries
+// equal total held copies, no replica's holdings ever shrink, and
+// deliveries never exceed publishes × members.
+func GossipConservation(g *mesh.Gossip) Invariant {
+	return Invariant{Name: "gossip-conservation", Check: g.CheckConservation}
+}
+
+// PictureMonotone checks that a replicated common operational picture
+// only moves up the CRDT partial order between sweeps: merges and local
+// observations may add state, but anti-entropy must never regress it.
+// The pictures func returns the replicas to audit; prior states are
+// tracked per replica owner.
+func PictureMonotone(name string, pictures func() []*cop.Picture) Invariant {
+	prev := make(map[asset.ID]*cop.Picture)
+	return Invariant{Name: "picture-monotone-" + name, Check: func() error {
+		for _, p := range pictures() {
+			if p == nil {
+				continue
+			}
+			if old, ok := prev[p.Self()]; ok && !p.Dominates(old) {
+				return fmt.Errorf("picture %s/%d regressed below its prior state", name, p.Self())
+			}
+			prev[p.Self()] = p.Clone()
+		}
 		return nil
 	}}
 }
