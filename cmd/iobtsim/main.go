@@ -13,6 +13,8 @@
 //	iobtsim -faults standard -replay-verify    # run twice, diff decision logs
 //	iobtsim -faults standard -verify           # arm the invariant registry, fail on violation
 //	iobtsim -gossip -verify                    # replicate the COP over epidemic gossip, CRDT invariants armed
+//	iobtsim -shards 4 -assets 5000             # spatially sharded engine: COP dissemination on 4 parallel shards
+//	iobtsim -shards 8 -replay-verify           # prove the 1-shard and 8-shard runs are byte-identical
 package main
 
 import (
@@ -83,9 +85,13 @@ func run(args []string) error {
 		replay  = fs.Bool("replay-verify", false, "run the scenario twice and diff the decision journals (determinism check)")
 		verif   = fs.Bool("verify", false, "arm the full invariant registry during the run and exit nonzero on any violation")
 		gossip  = fs.Bool("gossip", false, "replicate the common operational picture over an epidemic gossip overlay among composite members")
+		shards  = fs.Int("shards", 0, "run the spatially sharded engine with this many shards (COP dissemination scenario; 0 = classic sequential mission)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards > 0 {
+		return runSharded(*seed, *shards, *assets, time.Duration(*minutes)*time.Minute, *replay, *verif)
 	}
 
 	var plan *fault.Plan

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestShardedFingerprintInvariance pins the CLI-level determinism
+// contract: the printed fingerprint — overlay digest plus every node's
+// merged COP picture digest — is identical for 1, 2, and 4 shards.
+func TestShardedFingerprintInvariance(t *testing.T) {
+	ref, refFP, err := shardedOnce(9, 1, 250, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Violations) != 0 {
+		t.Fatalf("reference run violations: %v", ref.Violations)
+	}
+	if ref.Delivered == 0 {
+		t.Fatal("reference run delivered nothing")
+	}
+	for _, shards := range []int{2, 4} {
+		res, fp, err := shardedOnce(9, shards, 250, 2*time.Minute)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if fp != refFP || res.Digest != ref.Digest {
+			t.Errorf("shards=%d fingerprint %016x digest %016x, 1-shard reference %016x / %016x",
+				shards, fp, res.Digest, refFP, ref.Digest)
+		}
+		if len(res.Violations) != 0 {
+			t.Errorf("shards=%d violations: %v", shards, res.Violations)
+		}
+	}
+}
+
+// TestRunShardedFlags drives the -shards path through the real flag
+// surface: a plain run, a -replay-verify equivalence run, and the
+// argument validation error.
+func TestRunShardedFlags(t *testing.T) {
+	if err := run([]string{"-shards", "2", "-assets", "150", "-minutes", "1"}); err != nil {
+		t.Fatalf("plain sharded run: %v", err)
+	}
+	if err := run([]string{"-shards", "3", "-assets", "150", "-minutes", "1", "-replay-verify"}); err != nil {
+		t.Fatalf("sharded replay-verify: %v", err)
+	}
+	err := run([]string{"-shards", "2", "-assets", "1"})
+	if err == nil {
+		t.Fatal("degenerate asset count accepted")
+	}
+	if errors.Is(err, errVerification) {
+		t.Fatalf("argument error misclassified as verification failure: %v", err)
+	}
+}

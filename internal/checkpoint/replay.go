@@ -127,3 +127,27 @@ func VerifyReplay(seed int64, plan string, run func(*Journal)) *Divergence {
 	run(b)
 	return Compare(a, b)
 }
+
+// VerifyEquivalence runs several implementations of the same recipe —
+// each receives a fresh journal — and diffs every run against the
+// first. It generalizes VerifyReplay from "same code twice" to
+// "different configurations, same observable history": the sharded
+// engine uses it to assert that a 1-shard and an N-shard run of one
+// seed log byte-identical journals. The returned divergence is the
+// first mismatch found, nil when all runs agree (or fewer than two runs
+// were given).
+func VerifyEquivalence(seed int64, plan string, runs ...func(*Journal)) *Divergence {
+	var ref *Journal
+	for _, run := range runs {
+		j := NewJournal(seed, plan)
+		run(j)
+		if ref == nil {
+			ref = j
+			continue
+		}
+		if d := Compare(ref, j); d != nil {
+			return d
+		}
+	}
+	return nil
+}

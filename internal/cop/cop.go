@@ -340,6 +340,19 @@ func (p *Picture) Clone() *Picture {
 	return c
 }
 
+// MergeEncoded decodes a serialized replica and merges it into p —
+// the receive path for pictures carried as opaque payloads through a
+// dissemination overlay (e.g. the sharded mesh, whose frames must stay
+// closed over per-node state and therefore ship bytes, not pointers).
+func (p *Picture) MergeEncoded(data []byte) error {
+	o, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	p.Merge(o)
+	return nil
+}
+
 // Encode serializes the replica deterministically: every map is walked
 // in sorted key order, so equal states produce equal bytes and Digest
 // can stand in for deep comparison.

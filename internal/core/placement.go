@@ -1,0 +1,40 @@
+package core
+
+import (
+	"iobt/internal/asset"
+	"iobt/internal/geo"
+)
+
+// Asset-to-shard placement for the sharded simulation core. The
+// battlefield is split by a geo.ShardMap (vertical bands); each asset
+// is owned by the shard whose band holds its position, so the dominant
+// short-range radio traffic stays shard-local and only boundary
+// crossings pay the cross-shard mailbox path.
+
+// PlaceAssets assigns every live asset in pop to its spatial shard and
+// returns the placement keyed by asset ID. The walk is over the
+// population's stable slice order, so the result is deterministic for a
+// fixed world.
+func PlaceAssets(pop *asset.Population, sm *geo.ShardMap) map[asset.ID]int {
+	place := make(map[asset.ID]int, pop.Len())
+	for _, a := range pop.All() {
+		if !a.Alive() {
+			continue
+		}
+		place[a.ID] = sm.ShardOf(a.Pos())
+	}
+	return place
+}
+
+// ShardLoad folds a placement into per-shard asset counts — the
+// balance diagnostic for choosing a shard count (a band holding most of
+// the population serializes the run no matter how many workers exist).
+func ShardLoad(place map[asset.ID]int, shards int) []int {
+	load := make([]int, shards)
+	for _, sh := range place {
+		if sh >= 0 && sh < shards {
+			load[sh]++
+		}
+	}
+	return load
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"iobt/internal/asset"
+	"iobt/internal/geo"
+	"iobt/internal/sim"
+)
+
+func TestPlaceAssetsSpatial(t *testing.T) {
+	terr := geo.NewOpenTerrain(800, 800)
+	pop := asset.Generate(terr, asset.DefaultMix(150), sim.NewRNG(7).Derive("place"))
+	sm := geo.NewShardMap(terr.Bounds, 4)
+
+	place := PlaceAssets(pop, sm)
+	if len(place) == 0 {
+		t.Fatal("empty placement")
+	}
+	alive := 0
+	for _, a := range pop.All() {
+		if !a.Alive() {
+			continue
+		}
+		alive++
+		sh, ok := place[a.ID]
+		if !ok {
+			t.Fatalf("live asset %d unplaced", a.ID)
+		}
+		if want := sm.ShardOf(a.Pos()); sh != want {
+			t.Fatalf("asset %d placed on shard %d, position says %d", a.ID, sh, want)
+		}
+	}
+	if len(place) != alive {
+		t.Fatalf("placed %d assets, %d alive", len(place), alive)
+	}
+
+	// Placement is deterministic for a fixed world.
+	again := PlaceAssets(pop, sm)
+	for id, sh := range place {
+		if again[id] != sh {
+			t.Fatalf("placement of %d changed across calls: %d vs %d", id, sh, again[id])
+		}
+	}
+
+	// Every asset lands in a valid shard and the loads account for all.
+	load := ShardLoad(place, sm.Shards())
+	total := 0
+	for _, n := range load {
+		total += n
+	}
+	if total != alive {
+		t.Fatalf("shard loads sum to %d, want %d", total, alive)
+	}
+}

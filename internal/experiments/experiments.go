@@ -170,6 +170,7 @@ func All() []Experiment {
 		{"E15", "command-post failover: none vs cold vs warm", E15Failover},
 		{"E16", "mission service under client flood with worker crashes", E16Service},
 		{"E17", "COP dissemination: gossip vs flooding vs BFS", E17Dissemination},
+		{"E18", "sharded engine scaling: assets × shards", E18ShardScaling},
 	}
 }
 

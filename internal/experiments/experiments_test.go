@@ -17,8 +17,8 @@ func parseF(t *testing.T, s string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -310,7 +310,7 @@ func TestRegistryHasE13(t *testing.T) {
 	if _, ok := Lookup("E13"); !ok {
 		t.Error("E13 missing from registry")
 	}
-	if len(All()) != 17 {
+	if len(All()) != 18 {
 		t.Errorf("registry size = %d", len(All()))
 	}
 }
@@ -382,5 +382,32 @@ func TestE17Shape(t *testing.T) {
 	}
 	if tb.Verification == nil || len(tb.Verification.Violations) != 0 {
 		t.Errorf("invariant violations during E17: %+v", tb.Verification)
+	}
+}
+
+func TestE18Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E18 sweeps shard counts over dissemination runs")
+	}
+	tb := E18ShardScaling(42, true)
+	if len(tb.Rows) != 8 { // quick: one size x {gossip,bfs} x {1,2,4,8}
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The acceptance bar: every shard count reproduces the 1-shard
+	// digest, every run delivers, and nothing violates a conservation
+	// law — sharding is a performance knob, not a semantic one.
+	for _, row := range tb.Rows {
+		if row[7] != "match" {
+			t.Errorf("%s/%s shards=%s digest column = %q, want match", row[0], row[1], row[2], row[7])
+		}
+		if parseF(t, row[5]) <= 0 {
+			t.Errorf("%s/%s shards=%s delivered nothing", row[0], row[1], row[2])
+		}
+	}
+	if tb.Verification == nil || len(tb.Verification.Violations) != 0 {
+		t.Errorf("conservation violations during E18: %+v", tb.Verification)
+	}
+	if tb.Verification != nil && tb.Verification.Checks == 0 {
+		t.Error("E18 ran without counting a single conservation check")
 	}
 }

@@ -1,0 +1,71 @@
+package geo
+
+// ShardMap partitions a bounded area into vertical bands of equal
+// width, one per shard. It is the spatial key behind the sharded
+// simulation core: an actor is owned by the shard whose band holds its
+// position, and crossing a band boundary under mobility triggers a
+// shard migration. Vertical bands suit the battlefield workloads here —
+// radio traffic is dominated by short-range neighbor exchange, so most
+// frames stay inside one band and the conservative window protocol only
+// pays for the boundary crossings.
+type ShardMap struct {
+	bounds Rect
+	shards int
+	width  float64
+}
+
+// NewShardMap partitions bounds into shards vertical bands. A
+// non-positive shard count gets one band.
+func NewShardMap(bounds Rect, shards int) *ShardMap {
+	if shards < 1 {
+		shards = 1
+	}
+	w := bounds.Width() / float64(shards)
+	if w <= 0 {
+		w = 1
+	}
+	return &ShardMap{bounds: bounds, shards: shards, width: w}
+}
+
+// Shards returns the number of bands.
+func (m *ShardMap) Shards() int { return m.shards }
+
+// Bounds returns the partitioned area.
+func (m *ShardMap) Bounds() Rect { return m.bounds }
+
+// ShardOf returns the shard owning position p. Positions outside the
+// bounds clamp to the nearest band, so every point maps somewhere.
+func (m *ShardMap) ShardOf(p Point) int {
+	i := int((p.X - m.bounds.Min.X) / m.width)
+	if i < 0 {
+		return 0
+	}
+	if i >= m.shards {
+		return m.shards - 1
+	}
+	return i
+}
+
+// Band returns shard i's territory (clamped to the valid range).
+func (m *ShardMap) Band(i int) Rect {
+	if i < 0 {
+		i = 0
+	}
+	if i >= m.shards {
+		i = m.shards - 1
+	}
+	min := m.bounds.Min.X + float64(i)*m.width
+	max := min + m.width
+	if i == m.shards-1 {
+		max = m.bounds.Max.X
+	}
+	return Rect{Min: Point{min, m.bounds.Min.Y}, Max: Point{max, m.bounds.Max.Y}}
+}
+
+// Crossed reports whether moving from old to new changes the owning
+// shard, returning the new shard either way — the mobility layer calls
+// this on every step to decide whether to stage a migration.
+func (m *ShardMap) Crossed(old, now Point) (int, bool) {
+	a, b := m.ShardOf(old), m.ShardOf(now)
+	return b, a != b
+}

@@ -1,0 +1,75 @@
+package geo
+
+import "testing"
+
+func TestShardMapPartition(t *testing.T) {
+	m := NewShardMap(NewRect(Point{0, 0}, Point{1200, 800}), 4)
+	if m.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", m.Shards())
+	}
+	cases := []struct {
+		p    Point
+		want int
+	}{
+		{Point{0, 0}, 0},
+		{Point{299, 799}, 0},
+		{Point{300, 0}, 1},
+		{Point{899, 400}, 2},
+		{Point{1199, 0}, 3},
+		{Point{-50, 0}, 0},    // clamped left
+		{Point{5000, 0}, 3},   // clamped right
+		{Point{1200, 400}, 3}, // boundary clamps into the last band
+	}
+	for _, tc := range cases {
+		if got := m.ShardOf(tc.p); got != tc.want {
+			t.Errorf("ShardOf(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestShardMapBandsTile(t *testing.T) {
+	bounds := NewRect(Point{100, 0}, Point{1300, 900})
+	m := NewShardMap(bounds, 5)
+	// Bands tile the bounds: contiguous, non-overlapping, full cover.
+	prev := bounds.Min.X
+	for i := 0; i < m.Shards(); i++ {
+		b := m.Band(i)
+		if b.Min.X != prev {
+			t.Fatalf("band %d starts at %v, want %v", i, b.Min.X, prev)
+		}
+		if b.Min.Y != bounds.Min.Y || b.Max.Y != bounds.Max.Y {
+			t.Fatalf("band %d does not span the full height: %v", i, b)
+		}
+		prev = b.Max.X
+	}
+	if prev != bounds.Max.X {
+		t.Fatalf("bands end at %v, want %v", prev, bounds.Max.X)
+	}
+	// Every band point maps back to its band.
+	for i := 0; i < m.Shards(); i++ {
+		c := m.Band(i).Center()
+		if got := m.ShardOf(c); got != i {
+			t.Fatalf("ShardOf(center of band %d) = %d", i, got)
+		}
+	}
+}
+
+func TestShardMapCrossed(t *testing.T) {
+	m := NewShardMap(NewRect(Point{0, 0}, Point{1000, 1000}), 4)
+	if sh, moved := m.Crossed(Point{100, 100}, Point{200, 900}); moved || sh != 0 {
+		t.Fatalf("intra-band move reported crossing (shard %d, moved %v)", sh, moved)
+	}
+	if sh, moved := m.Crossed(Point{240, 100}, Point{260, 100}); !moved || sh != 1 {
+		t.Fatalf("boundary crossing missed (shard %d, moved %v)", sh, moved)
+	}
+}
+
+func TestShardMapDegenerate(t *testing.T) {
+	m := NewShardMap(Rect{}, 0)
+	if m.Shards() != 1 {
+		t.Fatalf("degenerate map shards = %d, want 1", m.Shards())
+	}
+	if got := m.ShardOf(Point{3, 4}); got != 0 {
+		t.Fatalf("degenerate ShardOf = %d, want 0", got)
+	}
+}

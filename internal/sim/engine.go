@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 )
 
@@ -99,8 +100,13 @@ type Engine struct {
 	queue   eventQueue
 	seq     uint64
 	stopped bool
-	// processed counts events executed since construction.
-	processed uint64
+	// processed counts events executed since construction and pending
+	// mirrors len(queue). Both are atomic so external observers (service
+	// watchdogs polling progress, aggregators over shard-worker engines)
+	// can read them mutex-free while the loop runs; the loop itself
+	// stays single-threaded.
+	processed atomic.Uint64
+	pending   atomic.Int64
 
 	rng    *RNG
 	tracer *Tracer
@@ -115,12 +121,14 @@ func NewEngine(seed int64) *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
-// Processed returns the number of events executed so far.
-func (e *Engine) Processed() uint64 { return e.processed }
+// Processed returns the number of events executed so far. Unlike the
+// rest of the engine it is safe to call from any goroutine.
+func (e *Engine) Processed() uint64 { return e.processed.Load() }
 
 // Pending returns the number of events currently queued (including
-// canceled events not yet discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+// canceled events not yet discarded). Like Processed it is safe to
+// call from any goroutine.
+func (e *Engine) Pending() int { return int(e.pending.Load()) }
 
 // RNG returns the engine's master random stream.
 func (e *Engine) RNG() *RNG { return e.rng }
@@ -140,6 +148,7 @@ func (e *Engine) Schedule(delay time.Duration, label string, fn func()) Handle {
 	ev := &Event{At: e.now + delay, Fn: fn, Label: label, seq: e.seq}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	e.pending.Add(1)
 	return Handle{ev: ev}
 }
 
@@ -202,6 +211,7 @@ func (e *Engine) Step() bool {
 		if !ok {
 			return false
 		}
+		e.pending.Add(-1)
 		if ev.canceled {
 			continue
 		}
@@ -210,7 +220,7 @@ func (e *Engine) Step() bool {
 			panic(fmt.Sprintf("sim: event %q at %v scheduled before now %v", ev.Label, ev.At, e.now))
 		}
 		e.now = ev.At
-		e.processed++
+		e.processed.Add(1)
 		if e.tracer != nil {
 			e.tracer.record(ev.At, ev.Label)
 		}

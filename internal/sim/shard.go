@@ -1,0 +1,696 @@
+package sim
+
+// Sharded is the parallel counterpart of Engine: the simulated world is
+// spatially partitioned into shards, each advancing its own event heap
+// on a worker goroutine, synchronized by conservative time windows. The
+// determinism contract is stronger than "same seed, same run": the same
+// seed must produce byte-identical model state for ANY shard count, so
+// sharding is purely a performance knob, never a semantic one.
+//
+// The protocol (DESIGN.md §12):
+//
+//   - Every event belongs to exactly one actor, and every actor is owned
+//     by exactly one shard. An actor's state may only be touched by
+//     events executing on that actor.
+//   - Time advances in windows of width Lookahead. A shard may execute
+//     an event at virtual time t only when every shard has finished the
+//     window before t — enforced by a barrier between windows.
+//   - Cross-actor interaction travels as a scheduled delivery (Send)
+//     with delay >= Lookahead, so anything sent during window k arrives
+//     in window k+1 or later and the barrier has already exchanged it.
+//     Deliveries to another shard are staged in that shard's mailbox and
+//     merged, deterministically sorted, at the barrier.
+//   - Events are totally ordered by a partition-independent key
+//     (time, actor, class, a, b): per-actor schedule order for local
+//     events, (sender, sender-sequence) for deliveries. A 1-shard run
+//     executes exactly this order; an N-shard run executes each actor's
+//     subsequence of it, which is indistinguishable to the model.
+//
+// Randomness: derive one stream per actor (or per stable concern) with
+// Stream and draw from it only inside that actor's events. Per-shard
+// streams would break shard-count invariance — actor-to-shard assignment
+// changes with the shard count, stable names do not.
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ActorID identifies one model entity (a node, an asset) owned by
+// exactly one shard. IDs must be small non-negative integers; the
+// engine indexes actors by ID.
+type ActorID int32
+
+// ShardedConfig parameterizes a Sharded engine.
+type ShardedConfig struct {
+	// Shards is the number of partitions and worker goroutines
+	// (default 1).
+	Shards int
+	// Lookahead is the conservative window width: the minimum latency of
+	// any cross-actor Send (default 100ms). Smaller lookahead means finer
+	// synchronization and more barriers; it never changes results.
+	Lookahead time.Duration
+}
+
+func (c ShardedConfig) withDefaults() ShardedConfig {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Lookahead <= 0 {
+		c.Lookahead = 100 * time.Millisecond
+	}
+	return c
+}
+
+// shardEvent is one queued unit of work. The five-part key (at, actor,
+// class, a, b) totally orders all events in the run and depends only on
+// model decisions, never on the shard count.
+type shardEvent struct {
+	at    time.Duration
+	actor ActorID
+	// class 0: locally scheduled (a = per-actor sequence, b = 0).
+	// class 1: delivery (a = sender actor, b = sender's send sequence).
+	class uint8
+	a, b  uint64
+	label string
+	fn    func(*ShardCtx)
+	index int // heap index
+}
+
+func (e *shardEvent) before(o *shardEvent) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	if e.actor != o.actor {
+		return e.actor < o.actor
+	}
+	if e.class != o.class {
+		return e.class < o.class
+	}
+	if e.a != o.a {
+		return e.a < o.a
+	}
+	return e.b < o.b
+}
+
+type shardHeap []*shardEvent
+
+func (q shardHeap) Len() int           { return len(q) }
+func (q shardHeap) Less(i, j int) bool { return q[i].before(q[j]) }
+func (q shardHeap) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *shardHeap) Push(x any) {
+	ev, ok := x.(*shardEvent)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *shardHeap) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// migration is one staged actor handoff, applied at the next barrier.
+type migration struct {
+	actor ActorID
+	to    int32
+}
+
+// lane is one shard's runtime state. The queue and clock are touched
+// only by the lane's worker during a window and by the coordinator at
+// barriers; the inbox is the only concurrently written structure.
+type lane struct {
+	id    int
+	queue shardHeap
+	now   time.Duration
+
+	inboxMu sync.Mutex
+	inbox   []*shardEvent
+
+	// migrations staged by this lane's own events during the window;
+	// drained by the coordinator at the barrier.
+	migrations []migration
+
+	// processed and pending are mutated by the worker and read by
+	// aggregating observers at any time, hence atomic (mutex-free).
+	processed atomic.Uint64
+	pending   atomic.Int64
+
+	ctx ShardCtx // reused per event; never escapes the worker
+}
+
+// actorMeta is the engine's bookkeeping for one actor. shard is written
+// only at barriers (coordinator) and read during windows; seq and
+// sendSeq are written only by the owning lane's worker.
+type actorMeta struct {
+	shard   int32
+	seq     uint64
+	sendSeq uint64
+	present bool
+}
+
+// ShardPanicError reports a panic inside a shard worker. The barrier
+// protocol guarantees the remaining workers still finish their window
+// and the run returns this error instead of deadlocking.
+type ShardPanicError struct {
+	Shard int
+	Value any
+	Stack []byte
+}
+
+func (e *ShardPanicError) Error() string {
+	return fmt.Sprintf("sim: shard %d panicked: %v", e.Shard, e.Value)
+}
+
+// Sharded is the spatially partitioned parallel discrete-event engine.
+// Setup (AddActor, ScheduleActor) is single-threaded; Run drives the
+// worker pool. Observers may call Now, Processed, and Pending from any
+// goroutine during a run.
+type Sharded struct {
+	cfg   ShardedConfig
+	rng   *RNG
+	lanes []*lane
+
+	actors []actorMeta
+
+	nowNS     atomic.Int64
+	stopped   atomic.Bool
+	running   atomic.Bool
+	inBarrier atomic.Bool
+
+	// probe, when set, observes every executed event. With more than one
+	// shard it is called concurrently and must be safe for concurrent
+	// use.
+	probe func(shard int, actor ActorID, at time.Duration, label string)
+
+	// atBarrier runs on the coordinator between windows, when no worker
+	// executes: the one place that may safely inspect all model state
+	// mid-run (invariant sweeps, progress reporting).
+	atBarrier func(now time.Duration)
+
+	panicMu sync.Mutex
+	panics  []*ShardPanicError
+}
+
+// NewSharded returns a sharded engine seeded with seed.
+func NewSharded(seed int64, cfg ShardedConfig) *Sharded {
+	cfg = cfg.withDefaults()
+	s := &Sharded{cfg: cfg, rng: NewRNG(seed)}
+	s.lanes = make([]*lane, cfg.Shards)
+	for i := range s.lanes {
+		ln := &lane{id: i}
+		ln.ctx.ln = ln
+		ln.ctx.s = s
+		s.lanes[i] = ln
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return s.cfg.Shards }
+
+// Lookahead returns the conservative window width.
+func (s *Sharded) Lookahead() time.Duration { return s.cfg.Lookahead }
+
+// Now returns the conservative global virtual clock: exact between
+// windows, a lower bound while a window executes. Safe from any
+// goroutine.
+func (s *Sharded) Now() time.Duration { return time.Duration(s.nowNS.Load()) }
+
+// Processed returns the total number of executed events, aggregated
+// from the per-shard atomic counters. Safe from any goroutine.
+func (s *Sharded) Processed() uint64 {
+	var n uint64
+	for _, ln := range s.lanes {
+		n += ln.processed.Load()
+	}
+	return n
+}
+
+// Pending returns the number of queued events (heaps plus mailboxes),
+// aggregated from the per-shard atomic counters. Safe from any
+// goroutine.
+func (s *Sharded) Pending() int {
+	var n int64
+	for _, ln := range s.lanes {
+		n += ln.pending.Load()
+	}
+	return int(n)
+}
+
+// Stream derives an independent, reproducible random stream from the
+// engine seed and name, exactly like Engine.Stream. Derive one stream
+// per actor (e.g. "node/17") at setup and draw from it only inside that
+// actor's events.
+func (s *Sharded) Stream(name string) *RNG { return s.rng.Derive(name) }
+
+// SetProbe installs an execution observer called for every event as
+// (shard, actor, virtual time, label). With Shards > 1 it is invoked
+// concurrently from worker goroutines and must be concurrency-safe.
+func (s *Sharded) SetProbe(fn func(shard int, actor ActorID, at time.Duration, label string)) {
+	s.probe = fn
+}
+
+// AtBarrier installs a hook run by the coordinator between windows
+// (workers quiescent), with the window-end virtual time. It is the safe
+// place for mid-run invariant checks over the whole model.
+func (s *Sharded) AtBarrier(fn func(now time.Duration)) { s.atBarrier = fn }
+
+// AddActor registers actor id on the given shard. Call before Run; ids
+// must be non-negative and the shard must be in range. Re-adding an
+// existing actor only updates its shard when it has no pending events.
+func (s *Sharded) AddActor(id ActorID, shard int) {
+	if id < 0 {
+		panic(fmt.Sprintf("sim: negative actor id %d", id))
+	}
+	if shard < 0 || shard >= s.cfg.Shards {
+		panic(fmt.Sprintf("sim: shard %d out of range [0,%d)", shard, s.cfg.Shards))
+	}
+	if s.running.Load() {
+		panic("sim: AddActor during Run")
+	}
+	for int(id) >= len(s.actors) {
+		s.actors = append(s.actors, actorMeta{})
+	}
+	m := &s.actors[id]
+	m.shard = int32(shard)
+	m.present = true
+}
+
+// ActorShard returns the shard currently owning actor id, or -1 when
+// the actor is unknown. Exact only between windows.
+func (s *Sharded) ActorShard(id ActorID) int {
+	if int(id) >= len(s.actors) || !s.actors[id].present {
+		return -1
+	}
+	return int(s.actors[id].shard)
+}
+
+// ScheduleActor queues a local event on actor id at delay from the
+// current global clock. Setup-time counterpart of ShardCtx.Schedule;
+// call before Run or from an AtBarrier hook (workers are quiescent at a
+// barrier, so direct heap pushes are safe there).
+func (s *Sharded) ScheduleActor(id ActorID, delay time.Duration, label string, fn func(*ShardCtx)) {
+	if s.running.Load() && !s.inBarrier.Load() {
+		panic("sim: ScheduleActor during Run (use ShardCtx.Schedule)")
+	}
+	s.mustActor(id)
+	if delay < 0 {
+		delay = 0
+	}
+	m := &s.actors[id]
+	ev := &shardEvent{at: s.Now() + delay, actor: id, class: 0, a: m.seq, label: label, fn: fn}
+	m.seq++
+	ln := s.lanes[m.shard]
+	heap.Push(&ln.queue, ev)
+	ln.pending.Add(1)
+}
+
+func (s *Sharded) mustActor(id ActorID) {
+	if id < 0 || int(id) >= len(s.actors) || !s.actors[id].present {
+		panic(fmt.Sprintf("sim: unknown actor %d", id))
+	}
+}
+
+// Stop halts the run: workers stop after their current event and the
+// coordinator returns ErrStopped at the next barrier. Safe from any
+// goroutine, including during a barrier wait.
+func (s *Sharded) Stop() { s.stopped.Store(true) }
+
+// Run executes windows until every queue drains or the horizon is
+// reached. A zero horizon means no time limit.
+func (s *Sharded) Run(horizon time.Duration) error {
+	return s.RunContext(context.Background(), horizon)
+}
+
+// RunContext is Run with cooperative cancellation: workers observe the
+// context between events, the coordinator between windows, and the run
+// returns context.Cause(ctx) once cancelled. Like Engine.RunContext,
+// cancellation decides how far the fixed event order gets, never what
+// the order is.
+func (s *Sharded) RunContext(ctx context.Context, horizon time.Duration) error {
+	if s.running.Swap(true) {
+		return errors.New("sim: sharded engine already running")
+	}
+	defer s.running.Store(false)
+	s.stopped.Store(false)
+	s.panics = nil
+
+	w := s.cfg.Lookahead
+	limit := time.Duration(math.MaxInt64)
+	if horizon != 0 {
+		limit = s.Now() + horizon
+	}
+	done := ctx.Done()
+	// A previous interrupted run may have left staged deliveries in the
+	// mailboxes; fold them in so nextEventTime sees the whole backlog.
+	s.drainInboxes()
+
+	for {
+		if done != nil {
+			select {
+			case <-done:
+				return context.Cause(ctx)
+			default:
+			}
+		}
+		if s.stopped.Load() {
+			return ErrStopped
+		}
+		next, ok := s.nextEventTime()
+		if !ok {
+			// Drained. Leave the clock at the last window boundary (or
+			// advance to the horizon so timed runs end at their limit).
+			if horizon != 0 {
+				s.setNow(limit)
+			}
+			return nil
+		}
+		if next > limit {
+			s.setNow(limit)
+			return nil
+		}
+		// Jump to the window containing the next event: empty windows
+		// cost nothing.
+		k := next / w
+		end := (k + 1) * w
+		inclusive := false
+		if end >= limit {
+			end = limit
+			inclusive = true // the final window executes events AT the horizon
+		}
+		s.runWindow(ctx, end, inclusive)
+		// Staged deliveries are folded into the heaps in every exit path
+		// so an interrupted run never strands events in a mailbox.
+		s.drainInboxes()
+		s.applyMigrations()
+		if err := s.takePanic(); err != nil {
+			s.stopped.Store(true)
+			return err
+		}
+		if s.stopped.Load() {
+			// Halted mid-window: leave the clock at the last barrier so a
+			// resumed run re-enters the unfinished window.
+			return ErrStopped
+		}
+		if done != nil {
+			// Same for cancellation: workers bail out between events, so an
+			// interrupted window must not advance the barrier clock past the
+			// events it never ran.
+			select {
+			case <-done:
+				return context.Cause(ctx)
+			default:
+			}
+		}
+		s.setNow(end)
+		if s.atBarrier != nil {
+			s.inBarrier.Store(true)
+			s.atBarrier(end)
+			s.inBarrier.Store(false)
+		}
+		if s.stopped.Load() {
+			return ErrStopped
+		}
+		// No early return after an inclusive window: deliveries generated
+		// inside it may land exactly at the horizon and, like Engine's
+		// at-most-limit semantics, must still execute. The loop exits when
+		// nothing at or before the limit remains.
+	}
+}
+
+// nextEventTime returns the earliest queued event time across all lanes
+// (inboxes are empty between windows).
+func (s *Sharded) nextEventTime() (time.Duration, bool) {
+	var next time.Duration
+	found := false
+	for _, ln := range s.lanes {
+		if len(ln.queue) == 0 {
+			continue
+		}
+		if at := ln.queue[0].at; !found || at < next {
+			next = at
+			found = true
+		}
+	}
+	return next, found
+}
+
+// setNow raises the global clock (it never rewinds: an interrupted
+// window may leave the store ahead of an individual lane).
+func (s *Sharded) setNow(t time.Duration) {
+	if int64(t) > s.nowNS.Load() {
+		s.nowNS.Store(int64(t))
+	}
+	for _, ln := range s.lanes {
+		if ln.now < t {
+			ln.now = t
+		}
+	}
+}
+
+// runWindow executes one window on every lane. With one shard it runs
+// inline; otherwise one goroutine per lane, joined by a WaitGroup — the
+// barrier cannot deadlock because workers only pop their own heap and
+// stage into mutex-guarded mailboxes, never wait on each other.
+func (s *Sharded) runWindow(ctx context.Context, end time.Duration, inclusive bool) {
+	if len(s.lanes) == 1 {
+		s.laneWindow(s.lanes[0], ctx, end, inclusive)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, ln := range s.lanes {
+		wg.Add(1)
+		go func(ln *lane) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					s.recordPanic(&ShardPanicError{Shard: ln.id, Value: r, Stack: debug.Stack()})
+				}
+			}()
+			s.laneWindow(ln, ctx, end, inclusive)
+		}(ln)
+	}
+	wg.Wait()
+}
+
+// laneWindow drains one lane's heap up to the window end (strict, so
+// boundary events wait for the barrier that delivers their mail —
+// inclusive only at the final horizon window, mirroring Engine's
+// at-most-limit semantics).
+func (s *Sharded) laneWindow(ln *lane, ctx context.Context, end time.Duration, inclusive bool) {
+	done := ctx.Done()
+	for len(ln.queue) > 0 {
+		top := ln.queue[0]
+		if top.at > end || (top.at == end && !inclusive) {
+			break
+		}
+		if s.stopped.Load() {
+			return
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+		ev, ok := heap.Pop(&ln.queue).(*shardEvent)
+		if !ok {
+			return
+		}
+		// Causality guard against the conservative global clock, not the
+		// lane clock: after an interrupted window a migrated-in event may
+		// trail the destination lane's local progress, but nothing may ever
+		// trail the last barrier.
+		if floor := time.Duration(s.nowNS.Load()); ev.at < floor {
+			panic(fmt.Sprintf("sim: shard %d event %q at %v scheduled before barrier %v", ln.id, ev.label, ev.at, floor))
+		}
+		if ev.at > ln.now {
+			ln.now = ev.at
+		}
+		ln.pending.Add(-1)
+		ln.processed.Add(1)
+		if s.probe != nil {
+			s.probe(ln.id, ev.actor, ev.at, ev.label)
+		}
+		ln.ctx.actor = ev.actor
+		ln.ctx.at = ev.at
+		ev.fn(&ln.ctx)
+	}
+}
+
+func (s *Sharded) recordPanic(p *ShardPanicError) {
+	s.panicMu.Lock()
+	s.panics = append(s.panics, p)
+	s.panicMu.Unlock()
+}
+
+// takePanic returns the recorded worker panic with the lowest shard id
+// (deterministic when several shards panicked in one window), or nil.
+func (s *Sharded) takePanic() error {
+	s.panicMu.Lock()
+	defer s.panicMu.Unlock()
+	if len(s.panics) == 0 {
+		return nil
+	}
+	sort.Slice(s.panics, func(i, j int) bool { return s.panics[i].Shard < s.panics[j].Shard })
+	return s.panics[0]
+}
+
+// drainInboxes merges every lane's mailbox into its heap. The mailbox
+// is sorted by the partition-independent event key first, so the merged
+// order never depends on which worker staged first.
+func (s *Sharded) drainInboxes() {
+	for _, ln := range s.lanes {
+		ln.inboxMu.Lock()
+		in := ln.inbox
+		ln.inbox = nil
+		ln.inboxMu.Unlock()
+		if len(in) == 0 {
+			continue
+		}
+		sort.Slice(in, func(i, j int) bool { return in[i].before(in[j]) })
+		for _, ev := range in {
+			heap.Push(&ln.queue, ev)
+		}
+	}
+}
+
+// applyMigrations hands staged actors to their new shards, moving every
+// pending event with them so nothing is dropped or duplicated. Staged
+// entries for one actor all come from its owning lane in execution
+// order, so "last staged wins" is deterministic.
+func (s *Sharded) applyMigrations() {
+	for _, ln := range s.lanes {
+		if len(ln.migrations) == 0 {
+			continue
+		}
+		for _, mg := range ln.migrations {
+			s.moveActor(mg.actor, mg.to)
+		}
+		ln.migrations = ln.migrations[:0]
+	}
+}
+
+func (s *Sharded) moveActor(id ActorID, to int32) {
+	m := &s.actors[id]
+	if m.shard == to {
+		return
+	}
+	from := s.lanes[m.shard]
+	dst := s.lanes[to]
+	// Collect the actor's pending events, then relocate them. Heap
+	// removal shifts indices, so gather pointers first and remove by
+	// their live index field.
+	var moving []*shardEvent
+	for _, ev := range from.queue {
+		if ev.actor == id {
+			moving = append(moving, ev)
+		}
+	}
+	for _, ev := range moving {
+		heap.Remove(&from.queue, ev.index)
+	}
+	// Deterministic insertion (the heap's total order makes push order
+	// irrelevant, but sorted insertion keeps the walk auditable).
+	sort.Slice(moving, func(i, j int) bool { return moving[i].before(moving[j]) })
+	for _, ev := range moving {
+		heap.Push(&dst.queue, ev)
+	}
+	if n := int64(len(moving)); n > 0 {
+		from.pending.Add(-n)
+		dst.pending.Add(n)
+	}
+	m.shard = to
+}
+
+// ShardCtx is the execution context handed to every event callback. It
+// is owned by the executing worker and must not be retained beyond the
+// callback.
+type ShardCtx struct {
+	s     *Sharded
+	ln    *lane
+	actor ActorID
+	at    time.Duration
+}
+
+// Now returns the executing event's virtual time.
+func (c *ShardCtx) Now() time.Duration { return c.at }
+
+// Self returns the actor the current event belongs to.
+func (c *ShardCtx) Self() ActorID { return c.actor }
+
+// Shard returns the executing shard's index (an observability aid; the
+// model must never branch on it).
+func (c *ShardCtx) Shard() int { return c.ln.id }
+
+// Engine returns the owning sharded engine.
+func (c *ShardCtx) Engine() *Sharded { return c.s }
+
+// Schedule queues a local follow-up event on the current actor. Local
+// events may use any non-negative delay — they stay on this shard and
+// need no lookahead.
+func (c *ShardCtx) Schedule(delay time.Duration, label string, fn func(*ShardCtx)) {
+	if delay < 0 {
+		delay = 0
+	}
+	m := &c.s.actors[c.actor]
+	ev := &shardEvent{at: c.at + delay, actor: c.actor, class: 0, a: m.seq, label: label, fn: fn}
+	m.seq++
+	heap.Push(&c.ln.queue, ev)
+	c.ln.pending.Add(1)
+}
+
+// Send schedules fn on actor dst after delay. Cross-actor causality is
+// what the conservative windows synchronize, so the delay is clamped up
+// to the engine Lookahead: anything sent during this window arrives in
+// a later one, staged in the mailbox of whichever shard owns dst and
+// merged at the barrier. Ordering is by (time, dst, sender,
+// sender-sequence).
+func (c *ShardCtx) Send(dst ActorID, delay time.Duration, label string, fn func(*ShardCtx)) {
+	s := c.s
+	s.mustActor(dst)
+	if delay < s.cfg.Lookahead {
+		delay = s.cfg.Lookahead
+	}
+	src := &s.actors[c.actor]
+	ev := &shardEvent{at: c.at + delay, actor: dst, class: 1, a: uint64(c.actor), b: src.sendSeq, label: label, fn: fn}
+	src.sendSeq++
+	// Every delivery goes through the destination mailbox — even to the
+	// sender's own shard. A same-shard fast path into the live heap
+	// would let a delivery landing exactly on the final (inclusive)
+	// window boundary execute when co-sharded but stay pending when
+	// cross-sharded, breaking shard-count invariance at the horizon.
+	dl := s.lanes[s.actors[dst].shard]
+	dl.inboxMu.Lock()
+	dl.inbox = append(dl.inbox, ev)
+	dl.inboxMu.Unlock()
+	dl.pending.Add(1)
+}
+
+// Migrate stages a handoff of the current actor to another shard,
+// applied at the next barrier together with every pending event (the
+// spatial layer calls this when mobility carries an actor across a
+// shard boundary). Migration never reorders events — ordering is keyed
+// by actor, not by shard.
+func (c *ShardCtx) Migrate(shard int) {
+	if shard < 0 || shard >= c.s.cfg.Shards {
+		panic(fmt.Sprintf("sim: migrate to shard %d out of range [0,%d)", shard, c.s.cfg.Shards))
+	}
+	c.ln.migrations = append(c.ln.migrations, migration{actor: c.actor, to: int32(shard)})
+}

@@ -1,0 +1,478 @@
+package sim
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// toyModel is a self-contained actor workload used to exercise the
+// sharded engine: a population of actors that tick on random local
+// timers, mix randomness into private state, exchange payloads via
+// Send, and (optionally) migrate between shards. Every mutation touches
+// only the executing actor's slot, and all randomness comes from
+// per-actor streams, so the final state must be byte-identical for any
+// shard count.
+type toyModel struct {
+	s    *Sharded
+	rngs []*RNG
+
+	// Per-actor slots: written only by the owning actor's events.
+	state     []uint64
+	ticks     []uint64
+	sent      []uint64
+	delivered []uint64
+}
+
+type toyConfig struct {
+	shards  int
+	actors  int
+	ticks   int
+	migrate bool
+	// control, when non-nil, runs as an extra actor-0 event at controlAt.
+	control   func(*ShardCtx)
+	controlAt time.Duration
+}
+
+func newToy(seed int64, cfg toyConfig) *toyModel {
+	s := NewSharded(seed, ShardedConfig{Shards: cfg.shards, Lookahead: 50 * time.Millisecond})
+	m := &toyModel{
+		s:         s,
+		rngs:      make([]*RNG, cfg.actors),
+		state:     make([]uint64, cfg.actors),
+		ticks:     make([]uint64, cfg.actors),
+		sent:      make([]uint64, cfg.actors),
+		delivered: make([]uint64, cfg.actors),
+	}
+	for i := 0; i < cfg.actors; i++ {
+		s.AddActor(ActorID(i), i%cfg.shards)
+		m.rngs[i] = s.Stream(fmt.Sprintf("actor/%d", i))
+	}
+	if cfg.control != nil {
+		s.ScheduleActor(0, cfg.controlAt, "control", cfg.control)
+	}
+	for i := 0; i < cfg.actors; i++ {
+		delay := time.Duration(m.rngs[i].Intn(40)) * time.Millisecond
+		s.ScheduleActor(ActorID(i), delay, "tick", m.tick(i, cfg.ticks, cfg.migrate))
+	}
+	return m
+}
+
+func (m *toyModel) tick(i, remaining int, migrate bool) func(*ShardCtx) {
+	return func(c *ShardCtx) {
+		r := m.rngs[i]
+		m.ticks[i]++
+		m.state[i] = m.state[i]*31 + uint64(r.Int63()) + uint64(c.Now())
+		if r.Bool(0.4) {
+			dst := ActorID(r.Intn(len(m.state)))
+			payload := uint64(r.Int63())
+			sentAt := c.Now()
+			m.sent[i]++
+			c.Send(dst, time.Duration(r.Intn(80))*time.Millisecond, "pkt", func(rc *ShardCtx) {
+				j := rc.Self()
+				if lat := rc.Now() - sentAt; lat < rc.Engine().Lookahead() {
+					panic(fmt.Sprintf("delivery latency %v below lookahead", lat))
+				}
+				m.state[j] = m.state[j]*33 ^ (payload + uint64(rc.Now()))
+				m.delivered[j]++
+			})
+		}
+		if migrate && r.Bool(0.3) {
+			// The draw happens unconditionally relative to the actor's own
+			// schedule; only the target depends on the shard count, and the
+			// target is a pure performance decision.
+			c.Migrate(r.Intn(64) % c.Engine().Shards())
+		}
+		if remaining > 1 {
+			c.Schedule(time.Duration(5+r.Intn(60))*time.Millisecond, "tick", m.tick(i, remaining-1, migrate))
+		}
+	}
+}
+
+// digest folds all per-actor model state in actor-ID order.
+func (m *toyModel) digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	for i := range m.state {
+		w(m.state[i])
+		w(m.ticks[i])
+		w(m.sent[i])
+		w(m.delivered[i])
+	}
+	return h.Sum64()
+}
+
+func (m *toyModel) totals() (ticks, sent, delivered uint64) {
+	for i := range m.state {
+		ticks += m.ticks[i]
+		sent += m.sent[i]
+		delivered += m.delivered[i]
+	}
+	return
+}
+
+// TestShardedDeterminismAcrossShardCounts is the core contract: the
+// same seed produces an identical final state for every shard count,
+// with and without mobility-driven migration, and rerunning a
+// configuration reproduces itself exactly.
+func TestShardedDeterminismAcrossShardCounts(t *testing.T) {
+	for _, migrate := range []bool{false, true} {
+		name := "static"
+		if migrate {
+			name = "migrating"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(shards int) (uint64, uint64) {
+				m := newToy(4242, toyConfig{shards: shards, actors: 24, ticks: 12, migrate: migrate})
+				if err := m.s.Run(0); err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				return m.digest(), m.s.Processed()
+			}
+			refDigest, refProcessed := run(1)
+			for _, shards := range []int{2, 3, 4, 8} {
+				d, p := run(shards)
+				if d != refDigest {
+					t.Errorf("shards=%d digest %016x, 1-shard reference %016x", shards, d, refDigest)
+				}
+				if p != refProcessed {
+					t.Errorf("shards=%d processed %d, 1-shard reference %d", shards, p, refProcessed)
+				}
+			}
+			again, _ := run(4)
+			if again != refDigest {
+				t.Errorf("4-shard rerun digest %016x, want %016x", again, refDigest)
+			}
+		})
+	}
+}
+
+// TestShardedHorizonBoundaryDelivery pins the horizon edge case: a
+// delivery landing exactly at the horizon must execute (or not)
+// identically whether sender and receiver share a shard. All sends
+// route through mailboxes precisely so this cannot diverge.
+func TestShardedHorizonBoundaryDelivery(t *testing.T) {
+	const look = 100 * time.Millisecond
+	run := func(shards int) (uint64, uint64) {
+		s := NewSharded(7, ShardedConfig{Shards: shards, Lookahead: look})
+		var got, processed uint64
+		s.AddActor(0, 0)
+		s.AddActor(1, shards-1)
+		s.ScheduleActor(0, look, "emit", func(c *ShardCtx) {
+			c.Send(1, look, "edge", func(rc *ShardCtx) {
+				got = uint64(rc.Now())
+			})
+		})
+		if err := s.Run(2 * look); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		processed = s.Processed()
+		return got, processed
+	}
+	g1, p1 := run(1)
+	g2, p2 := run(2)
+	if g1 != g2 || p1 != p2 {
+		t.Fatalf("horizon-boundary delivery diverged: 1-shard (%d, %d) vs 2-shard (%d, %d)", g1, p1, g2, p2)
+	}
+	if g1 != uint64(2*look) {
+		t.Fatalf("delivery at horizon did not execute: got %d, want %d", g1, uint64(2*look))
+	}
+}
+
+// TestShardedOrderingProbe asserts, via the execution probe, that no
+// event ever executes out of timestamp order for its actor and that no
+// event ever trails the conservative barrier clock — i.e. cross-shard
+// boundaries never reorder observable execution.
+func TestShardedOrderingProbe(t *testing.T) {
+	m := newToy(99, toyConfig{shards: 4, actors: 24, ticks: 10, migrate: true})
+
+	lastAt := make([]int64, 24) // per-actor, written only by the owning worker
+	var mu sync.Mutex
+	var violations []string
+	m.s.SetProbe(func(shard int, actor ActorID, at time.Duration, label string) {
+		if floor := m.s.Now(); at < floor {
+			mu.Lock()
+			violations = append(violations, fmt.Sprintf("%q on actor %d at %v trails barrier %v", label, actor, at, floor))
+			mu.Unlock()
+		}
+		if prev := time.Duration(lastAt[actor]); at < prev {
+			mu.Lock()
+			violations = append(violations, fmt.Sprintf("%q on actor %d at %v after event at %v", label, actor, at, prev))
+			mu.Unlock()
+		}
+		lastAt[actor] = int64(at)
+	})
+	if err := m.s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("ordering violation: %s", v)
+	}
+	if m.s.Processed() == 0 {
+		t.Fatal("probe test ran no events")
+	}
+}
+
+// TestShardedMigrationConservation: under heavy random migration no
+// scheduled event is dropped or duplicated — every tick runs exactly
+// once, every send is delivered exactly once, and the queues drain.
+func TestShardedMigrationConservation(t *testing.T) {
+	const actors, ticksEach = 32, 14
+	m := newToy(555, toyConfig{shards: 8, actors: actors, ticks: ticksEach, migrate: true})
+	if err := m.s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	ticks, sent, delivered := m.totals()
+	if want := uint64(actors * ticksEach); ticks != want {
+		t.Errorf("ticks executed %d, want exactly %d", ticks, want)
+	}
+	if sent != delivered {
+		t.Errorf("sent %d != delivered %d: events dropped or duplicated in migration", sent, delivered)
+	}
+	if p := m.s.Pending(); p != 0 {
+		t.Errorf("drained run reports %d pending events", p)
+	}
+	ref := newToy(555, toyConfig{shards: 1, actors: actors, ticks: ticksEach, migrate: true})
+	if err := ref.s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if d, r := m.digest(), ref.digest(); d != r {
+		t.Errorf("migrating 8-shard digest %016x, 1-shard reference %016x", d, r)
+	}
+}
+
+// TestShardedStopResume: Stop from inside an event halts mid-window
+// without losing or reordering anything — resuming the run converges to
+// the same final state as an uninterrupted reference run.
+func TestShardedStopResume(t *testing.T) {
+	const at = 230 * time.Millisecond
+	build := func(stop bool) *toyModel {
+		control := func(c *ShardCtx) {}
+		if stop {
+			control = func(c *ShardCtx) { c.Engine().Stop() }
+		}
+		return newToy(31337, toyConfig{
+			shards: 4, actors: 24, ticks: 12, migrate: true,
+			control: control, controlAt: at,
+		})
+	}
+	ref := build(false)
+	if err := ref.s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	m := build(true)
+	if err := m.s.Run(0); !errors.Is(err, ErrStopped) {
+		t.Fatalf("stopped run returned %v, want ErrStopped", err)
+	}
+	if m.s.Pending() == 0 {
+		t.Fatal("stop test degenerate: nothing left to resume")
+	}
+	if err := m.s.Run(0); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if d, r := m.digest(), ref.digest(); d != r {
+		t.Errorf("stop+resume digest %016x, uninterrupted reference %016x", d, r)
+	}
+	if p, r := m.s.Processed(), ref.s.Processed(); p != r {
+		t.Errorf("stop+resume processed %d, reference %d", p, r)
+	}
+}
+
+// TestShardedCancelResume: context cancellation mid-window behaves like
+// Stop — the run returns the cancellation cause, leaks no goroutines,
+// and a resumed run converges to the uninterrupted result.
+func TestShardedCancelResume(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := newToy(2026, toyConfig{
+		shards: 4, actors: 24, ticks: 12, migrate: true,
+		control: func(c *ShardCtx) { cancel() }, controlAt: 230 * time.Millisecond,
+	})
+	if err := m.s.RunContext(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	waitNoLeak(t, base)
+
+	if err := m.s.Run(0); err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	ref := newToy(2026, toyConfig{
+		shards: 4, actors: 24, ticks: 12, migrate: true,
+		control: func(c *ShardCtx) {}, controlAt: 230 * time.Millisecond,
+	})
+	if err := ref.s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if d, r := m.digest(), ref.digest(); d != r {
+		t.Errorf("cancel+resume digest %016x, reference %016x", d, r)
+	}
+}
+
+// TestShardedPanicIsolation: a panic in one shard worker surfaces as a
+// ShardPanicError naming the shard, the other workers finish their
+// window, and no goroutine leaks or deadlocks.
+func TestShardedPanicIsolation(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	m := newToy(808, toyConfig{
+		shards: 4, actors: 24, ticks: 12,
+		control:   func(c *ShardCtx) { panic("boom") },
+		controlAt: 210 * time.Millisecond,
+	})
+	err := m.s.Run(0)
+	var pe *ShardPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("run returned %v, want *ShardPanicError", err)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("panic value %v, want boom", pe.Value)
+	}
+	if want := m.s.ActorShard(0); pe.Shard != want {
+		t.Errorf("panic attributed to shard %d, actor 0 lives on %d", pe.Shard, want)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error carries no stack")
+	}
+	waitNoLeak(t, base)
+}
+
+// TestShardedStopDuringBarrier: Stop invoked while the coordinator sits
+// at a barrier (inside the AtBarrier hook) halts cleanly, and the hook
+// may inject events that a resumed run then executes.
+func TestShardedStopDuringBarrier(t *testing.T) {
+	m := newToy(6, toyConfig{shards: 2, actors: 8, ticks: 6})
+	injected := false
+	fired := false
+	m.s.AtBarrier(func(now time.Duration) {
+		if injected {
+			return
+		}
+		injected = true
+		m.s.ScheduleActor(3, m.s.Lookahead(), "injected", func(c *ShardCtx) { fired = true })
+		m.s.Stop()
+	})
+	if err := m.s.Run(0); !errors.Is(err, ErrStopped) {
+		t.Fatalf("run returned %v, want ErrStopped", err)
+	}
+	m.s.AtBarrier(nil)
+	if err := m.s.Run(0); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !fired {
+		t.Error("event injected at the barrier never executed")
+	}
+}
+
+// TestShardedCountersConcurrentReads hammers Now/Processed/Pending from
+// observer goroutines while the shard workers run — the -race
+// regression for the mutex-free counter path.
+func TestShardedCountersConcurrentReads(t *testing.T) {
+	m := newToy(1717, toyConfig{shards: 4, actors: 24, ticks: 12, migrate: true})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var reads atomic.Uint64
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = m.s.Processed()
+				_ = m.s.Pending()
+				_ = m.s.Now()
+				reads.Add(1)
+			}
+		}()
+	}
+	err := m.s.Run(0)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads.Load() == 0 {
+		t.Fatal("observer goroutines never read the counters")
+	}
+	if m.s.Pending() != 0 {
+		t.Errorf("drained run reports %d pending", m.s.Pending())
+	}
+}
+
+// TestEngineCountersConcurrentReads is the same regression for the
+// single-threaded Engine: Pending and Processed are documented safe
+// from any goroutine while the loop runs.
+func TestEngineCountersConcurrentReads(t *testing.T) {
+	e := NewEngine(5)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 5000 {
+			e.Schedule(time.Millisecond, "tick", tick)
+		}
+	}
+	e.Schedule(0, "tick", tick)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = e.Processed()
+			_ = e.Pending()
+		}
+	}()
+	err := e.Run(0)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Processed(); got != 5000 {
+		t.Fatalf("processed %d, want 5000", got)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after drain", e.Pending())
+	}
+}
+
+// waitNoLeak polls until the goroutine count returns to (near) the
+// baseline, failing the test if worker goroutines outlive their run.
+func waitNoLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second) //iobt:allow detrand test-only leak-check timeout
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) { //iobt:allow detrand test-only leak-check timeout
+			t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"iobt/internal/core"
 	"iobt/internal/fault"
 	"iobt/internal/geo"
+	"iobt/internal/mesh"
+	"iobt/internal/sim"
 )
 
 // TestScenarioFuzz is the quick fuzz pass wired into the ordinary test
@@ -39,21 +41,66 @@ func TestScenarioFuzz(t *testing.T) {
 }
 
 // FuzzScenario is the native fuzz target: the nightly CI job mutates
-// seeds far beyond the sequential range the quick pass covers.
+// seeds far beyond the sequential range the quick pass covers. The
+// second argument fuzzes the shard count of the differential check —
+// every generated dissemination scenario must produce an identical
+// result at 1 shard and at the fuzzed count.
 func FuzzScenario(f *testing.F) {
 	for _, seed := range []int64{1, 2, 3, 7, 42} {
-		f.Add(seed)
+		f.Add(seed, uint8(4))
 	}
-	f.Fuzz(func(t *testing.T, seed int64) {
+	f.Fuzz(func(t *testing.T, seed int64, shards uint8) {
 		s := Generate(seed)
 		out := Run(s)
-		if out.Skipped {
-			t.Skip("unsynthesizable scenario")
-		}
-		if len(out.Violations) > 0 {
+		if !out.Skipped && len(out.Violations) > 0 {
 			reportViolation(t, s, out)
 		}
+		fuzzShardDifferential(t, seed, 1+int(shards%8))
 	})
+}
+
+// fuzzShardDifferential derives a dissemination scenario from the seed
+// and asserts shard-count invariance: byte-identical digest, counters,
+// and zero conservation violations at 1 and at shards partitions.
+func fuzzShardDifferential(t *testing.T, seed int64, shards int) {
+	t.Helper()
+	r := sim.NewRNG(seed).Derive("fuzz/shardnet")
+	sc := mesh.ShardScenario{
+		Nodes:        40 + r.Intn(80),
+		Publishers:   1 + r.Intn(3),
+		Horizon:      time.Duration(50+r.Intn(40)) * time.Second,
+		PublishUntil: 40 * time.Second,
+	}
+	if r.Bool(0.5) {
+		sc.Mode = mesh.ShardModeBFS
+	}
+	if r.Bool(0.4) {
+		sc.KillAt = time.Duration(10+r.Intn(20)) * time.Second
+		sc.KillFrac = r.Uniform(0.05, 0.4)
+	}
+	if r.Bool(0.4) {
+		sc.PartitionAt = time.Duration(10+r.Intn(15)) * time.Second
+		sc.HealAt = sc.PartitionAt + time.Duration(10+r.Intn(20))*time.Second
+	}
+	if r.Bool(0.4) && sc.Mode != mesh.ShardModeBFS {
+		sc.AntiEntropyEvery = time.Duration(5+r.Intn(10)) * time.Second
+	}
+	ref, err := mesh.RunShardScenario(seed, 1, sc)
+	if err != nil {
+		t.Fatalf("1-shard run: %v", err)
+	}
+	got, err := mesh.RunShardScenario(seed, shards, sc)
+	if err != nil {
+		t.Fatalf("%d-shard run: %v", shards, err)
+	}
+	for _, v := range append(ref.Violations, got.Violations...) {
+		t.Errorf("conservation violation: %s", v)
+	}
+	if ref.Digest != got.Digest || ref.Delivered != got.Delivered || ref.Events != got.Events {
+		t.Errorf("shard differential diverged (seed %d, %d shards):\n  1-shard: digest=%016x delivered=%d events=%d\n  %d-shard: digest=%016x delivered=%d events=%d",
+			seed, shards, ref.Digest, ref.Delivered, ref.Events,
+			shards, got.Digest, got.Delivered, got.Events)
+	}
 }
 
 // reportViolation shrinks a failing scenario and fails the test with
