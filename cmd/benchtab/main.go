@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"iobt/internal/experiments"
@@ -57,8 +58,13 @@ func run(args []string) error {
 			static = &cov
 		}
 	}
+	// Host metadata makes scaling columns self-describing: BENCH_E18's
+	// speedup figures only mean anything next to the parallelism the
+	// host offered the run.
+	host := &experiments.Host{GOMAXPROCS: runtime.GOMAXPROCS(0), CPUs: runtime.NumCPU()}
 	render := func(t *experiments.Table) string {
 		t.Static = static
+		t.Host = host
 		switch *format {
 		case "csv":
 			return t.CSV()

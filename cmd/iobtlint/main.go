@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"iobt/internal/lint"
@@ -54,7 +55,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 	if *list {
-		for _, a := range lint.Analyzers() {
+		as := lint.Analyzers()
+		sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+		for _, a := range as {
 			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0

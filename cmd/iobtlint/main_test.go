@@ -1,0 +1,103 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// listedAnalyzers runs the real -list path and parses the analyzer
+// names it prints.
+func listedAnalyzers(t *testing.T) []string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "iobtlint-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if code := run([]string{"-list"}, f, f); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			t.Fatalf("blank -list line in output:\n%s", out)
+		}
+		names = append(names, fields[0])
+	}
+	return names
+}
+
+// documentedAnalyzers parses the DESIGN.md §9 analyzer table: every
+// row's first cell is the backticked analyzer name.
+func documentedAnalyzers(t *testing.T) []string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	start := strings.Index(text, "\n## 9.")
+	end := strings.Index(text, "\n## 10.")
+	if start < 0 || end < 0 || end < start {
+		t.Fatalf("DESIGN.md section 9 boundaries not found (start=%d end=%d)", start, end)
+	}
+	rows := regexp.MustCompile("(?m)^\\| `([a-z]+)` \\|").FindAllStringSubmatch(text[start:end], -1)
+	var names []string
+	for _, m := range rows {
+		names = append(names, m[1])
+	}
+	return names
+}
+
+// TestListMatchesDocumentedSet is the registry drift guard: the
+// analyzer set the binary actually runs (-list) and the set DESIGN.md
+// §9 documents must be identical. Adding an analyzer without
+// documenting its contract — or documenting one that was never
+// registered — fails here.
+func TestListMatchesDocumentedSet(t *testing.T) {
+	listed := listedAnalyzers(t)
+	documented := documentedAnalyzers(t)
+	if len(listed) == 0 || len(documented) == 0 {
+		t.Fatalf("degenerate sets: listed=%v documented=%v", listed, documented)
+	}
+	ls := append([]string(nil), listed...)
+	ds := append([]string(nil), documented...)
+	sort.Strings(ls)
+	sort.Strings(ds)
+	if strings.Join(ls, ",") != strings.Join(ds, ",") {
+		t.Errorf("analyzer registry drifted from DESIGN.md §9:\n  -list:    %v\n  DESIGN.md: %v", ls, ds)
+	}
+}
+
+// TestListIsSorted pins the -list presentation order so the output is
+// diffable and the documented quickstart stays accurate.
+func TestListIsSorted(t *testing.T) {
+	names := listedAnalyzers(t)
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list output not sorted: %v", names)
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "iobtlint-err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if code := run([]string{"-only", "nosuchanalyzer"}, f, f); code != 2 {
+		t.Errorf("-only with unknown analyzer exited %d, want 2", code)
+	}
+}

@@ -55,7 +55,7 @@ func shardedOnce(seed int64, shards, assets int, horizon time.Duration) (*mesh.S
 		return nil, 0, err
 	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%016x|%d|%d|%d", res.Digest, res.Published, res.Delivered, res.Events)
+	fmt.Fprintf(h, "%016x|%d|%d|%d|%d", res.Digest, res.Published, res.Delivered, res.Events, res.ClampedSends)
 	for i, p := range pics {
 		fmt.Fprintf(h, "|%d:%x", i, p.Digest())
 	}
@@ -76,9 +76,9 @@ func runSharded(seed int64, shards, assets int, horizon time.Duration, replay, v
 					j.Logf(0, "error: %v", err)
 					return
 				}
-				j.Logf(0, "published=%d delivered=%d dup=%d repairs=%d ratio=%.6f events=%d violations=%d fingerprint=%016x",
+				j.Logf(0, "published=%d delivered=%d dup=%d repairs=%d ratio=%.6f events=%d clamped=%d violations=%d fingerprint=%016x",
 					res.Published, res.Delivered, res.Duplicates, res.Repairs,
-					res.DeliveryRatio, res.Events, len(res.Violations), fp)
+					res.DeliveryRatio, res.Events, res.ClampedSends, len(res.Violations), fp)
 			}
 		}
 		plan := fmt.Sprintf("sharded assets=%d shards=1 vs %d", assets, shards)
@@ -102,6 +102,7 @@ func runSharded(seed int64, shards, assets int, horizon time.Duration, replay, v
 	fmt.Printf("  delivery ratio:   %.3f\n", res.DeliveryRatio)
 	fmt.Printf("  events:           %d (%.0f events/s over %s wall)\n",
 		res.Events, float64(res.Events)/wall.Seconds(), wall.Round(time.Millisecond))
+	fmt.Printf("  clamped sends:    %d\n", res.ClampedSends)
 	fmt.Printf("  violations:       %d\n", len(res.Violations))
 	for _, v := range res.Violations {
 		fmt.Printf("    %s\n", v)

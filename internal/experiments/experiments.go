@@ -34,6 +34,19 @@ type Table struct {
 	// zero at head — and reasoned waivers). cmd/benchtab attaches it
 	// for JSON output; nil elsewhere.
 	Static *lint.Coverage
+	// Host records the machine that produced the numbers, so scaling
+	// columns are self-describing: E18's speedup at 8 shards tracks
+	// gomaxprocs, and a ~1× row on a 1-core host is expected, not a
+	// regression. cmd/benchtab attaches it for JSON output.
+	Host *Host
+}
+
+// Host is the benchmark host's parallelism envelope.
+type Host struct {
+	// GOMAXPROCS is the Go scheduler's processor limit for the run.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// CPUs is the machine's logical core count.
+	CPUs int `json:"cpus"`
 }
 
 // AddRow appends a formatted row.
@@ -85,11 +98,12 @@ func (t *Table) JSON() string {
 	doc := struct {
 		ID           string        `json:"id"`
 		Title        string        `json:"title"`
+		Host         *Host         `json:"host,omitempty"`
 		Header       []string      `json:"header"`
 		Rows         [][]string    `json:"rows"`
 		Notes        string        `json:"notes,omitempty"`
 		Verification *verification `json:"verification,omitempty"`
-	}{t.ID, t.Title, t.Header, t.Rows, t.Notes, ver}
+	}{t.ID, t.Title, t.Host, t.Header, t.Rows, t.Notes, ver}
 	b, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
 		// A table of strings cannot fail to marshal; keep the signature

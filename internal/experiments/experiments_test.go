@@ -47,6 +47,26 @@ func TestTableString(t *testing.T) {
 	}
 }
 
+// TestTableJSONHost pins the host metadata block: committed BENCH
+// documents must state the parallelism envelope that produced their
+// scaling columns, and omit the block entirely when it is unset (old
+// documents stay valid).
+func TestTableJSONHost(t *testing.T) {
+	tb := &Table{ID: "EX", Title: "x", Header: []string{"a"}}
+	tb.AddRow("1")
+	if s := tb.JSON(); strings.Contains(s, `"host"`) {
+		t.Errorf("host block present without Host set:\n%s", s)
+	}
+	tb.Host = &Host{GOMAXPROCS: 3, CPUs: 8}
+	s := tb.JSON()
+	if !strings.Contains(s, `"gomaxprocs": 3`) || !strings.Contains(s, `"cpus": 8`) {
+		t.Errorf("host block missing fields:\n%s", s)
+	}
+	if strings.Index(s, `"host"`) > strings.Index(s, `"header"`) {
+		t.Errorf("host block must precede the data columns:\n%s", s)
+	}
+}
+
 // The shape tests below run each experiment in quick mode and assert the
 // DESIGN.md §5 expected shape on the produced numbers — the reproduction
 // criteria themselves.

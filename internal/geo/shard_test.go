@@ -64,6 +64,77 @@ func TestShardMapCrossed(t *testing.T) {
 	}
 }
 
+// TestShardMapBandEdges pins seam ownership: a position exactly on an
+// interior band boundary belongs to the band on its right (bands are
+// left-inclusive), and the world's right edge clamps into the last
+// band. Mobility puts assets exactly on these lines, and two shards
+// both claiming (or both disclaiming) a seam asset would corrupt the
+// migration protocol.
+func TestShardMapBandEdges(t *testing.T) {
+	m := NewShardMap(NewRect(Point{0, 0}, Point{1200, 800}), 4) // width 300, exact in float64
+	for i := 1; i < m.Shards(); i++ {
+		seam := m.Band(i).Min.X
+		if seam != m.Band(i-1).Max.X {
+			t.Fatalf("bands %d/%d do not share a seam: %v vs %v", i-1, i, m.Band(i-1).Max.X, seam)
+		}
+		if got := m.ShardOf(Point{seam, 400}); got != i {
+			t.Errorf("ShardOf(seam %v) = %d, want right band %d", seam, got, i)
+		}
+	}
+	if got := m.ShardOf(Point{1200, 0}); got != 3 {
+		t.Errorf("ShardOf(right edge) = %d, want last band 3", got)
+	}
+	if got := m.ShardOf(Point{0, 800}); got != 0 {
+		t.Errorf("ShardOf(left edge) = %d, want 0", got)
+	}
+}
+
+// TestShardMapZeroWidthWorld covers the degenerate geometry where the
+// bounds have no horizontal extent (all assets on one vertical line):
+// the map must still hand out valid shard indices rather than divide by
+// zero, with the whole line owned by shard 0 and the tiling invariants
+// intact.
+func TestShardMapZeroWidthWorld(t *testing.T) {
+	m := NewShardMap(NewRect(Point{500, 0}, Point{500, 800}), 4)
+	if m.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", m.Shards())
+	}
+	for _, p := range []Point{{500, 0}, {500, 400}, {500, 800}, {499, 100}, {501, 100}, {5000, 0}} {
+		got := m.ShardOf(p)
+		if got < 0 || got >= m.Shards() {
+			t.Fatalf("ShardOf(%v) = %d, outside [0,%d)", p, got, m.Shards())
+		}
+	}
+	if got := m.ShardOf(Point{500, 400}); got != 0 {
+		t.Errorf("ShardOf(on the line) = %d, want 0", got)
+	}
+	for i := 0; i < m.Shards(); i++ {
+		if b := m.Band(i); b.Min.Y != 0 || b.Max.Y != 800 {
+			t.Errorf("band %d lost the vertical extent: %v", i, b)
+		}
+	}
+}
+
+// TestShardMapCrossedOnSeam pins the mobility edge case of a step
+// landing exactly on a band boundary: the move must report exactly one
+// crossing into the right-hand band, and a subsequent step that stays
+// on the seam must not report a second one.
+func TestShardMapCrossedOnSeam(t *testing.T) {
+	m := NewShardMap(NewRect(Point{0, 0}, Point{1000, 1000}), 4) // seams at 250, 500, 750
+	if sh, moved := m.Crossed(Point{240, 100}, Point{250, 100}); !moved || sh != 1 {
+		t.Errorf("landing on seam 250: shard %d moved %v, want crossing into 1", sh, moved)
+	}
+	if sh, moved := m.Crossed(Point{250, 100}, Point{250, 900}); moved || sh != 1 {
+		t.Errorf("sliding along seam 250: shard %d moved %v, want no crossing", sh, moved)
+	}
+	if sh, moved := m.Crossed(Point{250, 100}, Point{249, 100}); !moved || sh != 0 {
+		t.Errorf("stepping off seam 250 leftward: shard %d moved %v, want crossing into 0", sh, moved)
+	}
+	if sh, moved := m.Crossed(Point{990, 100}, Point{1000, 100}); moved || sh != 3 {
+		t.Errorf("landing on the world's right edge: shard %d moved %v, want clamp into 3 without crossing", sh, moved)
+	}
+}
+
 func TestShardMapDegenerate(t *testing.T) {
 	m := NewShardMap(Rect{}, 0)
 	if m.Shards() != 1 {

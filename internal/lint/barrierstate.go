@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BarrierState guards the sharded engine's shard-local state. Fields
+// annotated //iobt:barrier-only (the per-lane event heap, staged
+// mailbox, migration list, local clock) belong to exactly one worker
+// while a window executes, and to the coordinating goroutine between
+// windows; touching them from anywhere else is a race the detector only
+// catches if a test happens to collide. The analyzer makes the
+// discipline structural: every access to a barrier-only field must sit
+// in a function annotated //iobt:barrier (it runs between barriers, or
+// as the owning worker), or in a function that locks a mutex belonging
+// to the same struct value (the staged-mailbox arm: ShardCtx.Send may
+// touch lane.inbox because it holds lane.inboxMu).
+//
+// The mutex arm is deliberately flow-insensitive — one Lock/RLock of
+// root.mu anywhere in the function licenses that root's barrier-only
+// fields for the whole body. The analyzer pins down *who may touch*,
+// and leaves *exact critical-section extent* to the race detector;
+// both halves together are the assurance story.
+var BarrierState = &Analyzer{
+	Name: "barrierstate",
+	Doc:  "//iobt:barrier-only fields may be touched only in //iobt:barrier functions or under a mutex of the same struct value",
+	Run:  runBarrierState,
+}
+
+func runBarrierState(p *Pass) {
+	reportMisplaced(p, map[string]string{
+		noteBarrierOnly: "a named struct field",
+		noteBarrier:     "a function declaration",
+	})
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			checkBarrierAccess(p, fd)
+		}
+	}
+}
+
+// lockedRoots collects the root objects whose mutex the function locks
+// anywhere in its body: a call root.mu.Lock() or root.mu.RLock() where
+// mu is a sync.Mutex/RWMutex field licenses barrier-only fields of the
+// same root.
+func lockedRoots(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	roots := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !isSel || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		named := receiverNamed(p.Info, sel)
+		if !namedIs(named, "sync", "Mutex") && !namedIs(named, "sync", "RWMutex") {
+			return true
+		}
+		mutexSel, isMutexSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !isMutexSel {
+			return true // a bare mutex variable guards nothing field-shaped
+		}
+		if root := rootIdent(mutexSel.X); root != nil {
+			if obj := p.Info.Uses[root]; obj != nil {
+				roots[obj] = true
+			}
+		}
+		return true
+	})
+	return roots
+}
+
+func checkBarrierAccess(p *Pass, fd *ast.FuncDecl) {
+	fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+	inBarrier := p.Prog.notes.funcHas(fn, noteBarrier)
+	var locked map[types.Object]bool // computed lazily: most functions lock nothing
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, isSel := n.(*ast.SelectorExpr)
+		if !isSel {
+			return true
+		}
+		selection, isField := p.Info.Selections[sel]
+		if !isField || selection.Kind() != types.FieldVal {
+			return true
+		}
+		field, _ := selection.Obj().(*types.Var)
+		if !p.Prog.notes.fieldHas(selection.Recv(), field, noteBarrierOnly) {
+			return true
+		}
+		if inBarrier {
+			return true
+		}
+		if locked == nil {
+			locked = lockedRoots(p, fd.Body)
+		}
+		if root := rootIdent(sel.X); root != nil {
+			if obj := p.Info.Uses[root]; obj != nil && locked[obj] {
+				return true // guarded by the same struct value's mutex
+			}
+		}
+		p.Reportf(sel.Sel.Pos(),
+			"barrier-only field %s.%s touched outside barrier context; annotate the function //iobt:barrier or hold a mutex of the same struct",
+			actorStateName(selection.Recv()), field.Name())
+		return true
+	})
+}

@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GoCapture polices what closures handed to the sharded engine may
+// close over. A callback scheduled through ShardCtx.Schedule,
+// ShardCtx.Send, or Sharded.ScheduleActor runs later, on whichever
+// worker owns the target actor, so anything it captures is shared
+// across goroutines. The allowed captures are exactly the shapes the
+// engine's contract makes safe: immutable values (basics, strings,
+// durations, structs and arrays of those), the *ShardCtx parameter,
+// //iobt:actor-state values (ownership rides along with the event; the
+// shardown analyzer polices access), //iobt:frozen setup context,
+// mutex-guarded handles (a pointer to a struct with its own
+// sync.Mutex/RWMutex field), channels, sync/atomic/context types, and
+// function values. Everything else — bare slices, maps, pointers to
+// unguarded structs — is a finding.
+//
+// The rule is interprocedural: a maker function whose parameter flows
+// into a returned or scheduled event closure marks that parameter as
+// captured in its summary, and every call site is checked against the
+// same classification — `r.receive(key, data, ...)` is held to the rule
+// even though the closure literal lives in receive, not at the Send.
+//
+// Inside a ShardCtx callback scope the `go` statement itself is a
+// finding regardless of captures: event callbacks must schedule
+// follow-up events, never spawn goroutines the barrier protocol cannot
+// see. (Goroutines outside callback scopes are conventional mutex- and
+// channel-disciplined concurrency covered by the race detector, not by
+// this analyzer.)
+var GoCapture = &Analyzer{
+	Name: "gocapture",
+	Doc:  "closures scheduled on the sharded engine may capture only immutable values, the ShardCtx, actor-state, frozen setup context, or mutex-guarded handles; `go` inside an event callback is always a finding",
+	Run:  runGoCapture,
+}
+
+// schedClosureArg returns the callback argument of a sharded-engine
+// scheduling call (ShardCtx.Schedule/Send, Sharded.ScheduleActor), or
+// nil.
+func schedClosureArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || len(call.Args) == 0 {
+		return nil
+	}
+	named := receiverNamed(info, sel)
+	switch {
+	case namedIs(named, "iobt/internal/sim", "ShardCtx") &&
+		(sel.Sel.Name == "Schedule" || sel.Sel.Name == "Send"):
+		return call.Args[len(call.Args)-1]
+	case namedIs(named, "iobt/internal/sim", "Sharded") && sel.Sel.Name == "ScheduleActor":
+		return call.Args[len(call.Args)-1]
+	}
+	return nil
+}
+
+// isCtxCallback reports whether the literal's type is a shard event
+// callback (it has a *ShardCtx parameter).
+func isCtxCallback(info *types.Info, lit *ast.FuncLit) bool {
+	return fieldListHasShardCtx(info, lit.Type.Params)
+}
+
+// A capturedVar is one free variable of a closure: an object declared
+// in an enclosing function and referenced inside the literal.
+type capturedVar struct {
+	obj types.Object
+	pos ast.Node // first referencing identifier, for reporting
+}
+
+// freeVars lists the closure's captured function-local variables in
+// first-use order. Package-level variables and struct fields are not
+// captures (the field's base is), and the literal's own declarations
+// are excluded by position.
+func freeVars(info *types.Info, lit *ast.FuncLit) []capturedVar {
+	seen := map[types.Object]bool{}
+	var out []capturedVar
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		obj, isVar := info.Uses[id].(*types.Var)
+		if !isVar || obj.IsField() || seen[obj] {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // the literal's own parameter or local
+		}
+		if obj.Parent() == nil || (obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()) {
+			return true // package-level state is not a closure capture
+		}
+		seen[obj] = true
+		out = append(out, capturedVar{obj: obj, pos: id})
+		return true
+	})
+	return out
+}
+
+// capturable classifies a type as safe for an event closure to capture.
+func (p *Pass) capturable(t types.Type) bool {
+	return capturableType(t, p.Prog.notes, map[types.Type]bool{})
+}
+
+func capturableType(t types.Type, notes *annotations, seen map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if seen[t] {
+		return true // recursive type: judged by its other components
+	}
+	seen[t] = true
+	if isShardCtxPtr(t) {
+		return true
+	}
+	if notes.typeHas(t, noteActorState) || notes.typeHas(t, noteFrozen) {
+		return true
+	}
+	if fromSyncFamily(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return true
+	case *types.Chan:
+		return true // channels are synchronization primitives
+	case *types.Signature:
+		return true // the func value is immutable; its own captures are checked at its literal
+	case *types.Pointer:
+		st, isStruct := u.Elem().Underlying().(*types.Struct)
+		return isStruct && hasMutexField(st)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !capturableType(u.Field(i).Type(), notes, seen) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return capturableType(u.Elem(), notes, seen)
+	}
+	return false // slices, maps, interfaces: shared mutable or unknowable
+}
+
+// fromSyncFamily reports whether t (or its pointee) is declared in a
+// package whose types are safe to share: sync, sync/atomic, context,
+// and time (time.Time is immutable by contract).
+func fromSyncFamily(t types.Type) bool {
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "sync", "sync/atomic", "context", "time":
+		return true
+	}
+	return false
+}
+
+// hasMutexField reports whether the struct directly embeds a
+// sync.Mutex or sync.RWMutex value — the mutex-guarded-handle shape.
+func hasMutexField(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		named, isNamed := st.Field(i).Type().(*types.Named)
+		if isNamed && (namedIs(named, "sync", "Mutex") || namedIs(named, "sync", "RWMutex")) {
+			return true
+		}
+	}
+	return false
+}
+
+// computeCaptures derives one function's capture summary: the
+// parameter indices (receiver first, like taint summaries) whose
+// values flow into an event closure this function schedules or
+// returns — directly, or by passing them on to a callee that does.
+func computeCaptures(prog *Program, node *CGNode) []int {
+	pkg := node.Pkg
+	params := map[types.Object]int{}
+	for i, obj := range paramObjects(pkg, node.Decl) {
+		params[obj] = i
+	}
+	idx := map[int]bool{}
+	mark := func(e ast.Expr) {
+		if id, isIdent := ast.Unparen(e).(*ast.Ident); isIdent {
+			if i, isParam := params[pkg.Info.Uses[id]]; isParam {
+				idx[i] = true
+			}
+		}
+	}
+	escaping := func(lit *ast.FuncLit) {
+		for _, cv := range freeVars(pkg.Info, lit) {
+			if i, isParam := params[cv.obj]; isParam {
+				idx[i] = true
+			}
+		}
+	}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if lit, isLit := ast.Unparen(x.Call.Fun).(*ast.FuncLit); isLit {
+				escaping(lit)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if lit, isLit := ast.Unparen(res).(*ast.FuncLit); isLit && isCtxCallback(pkg.Info, lit) {
+					escaping(lit)
+				}
+			}
+		case *ast.CallExpr:
+			if fn := schedClosureArg(pkg.Info, x); fn != nil {
+				if lit, isLit := ast.Unparen(fn).(*ast.FuncLit); isLit {
+					escaping(lit)
+				}
+			}
+			// Propagate: passing a parameter to a callee that captures it
+			// captures it here too.
+			for _, key := range calleeKeys(pkg.Info, x, prog.methodImpls) {
+				captured := prog.captures[key]
+				if len(captured) == 0 {
+					continue
+				}
+				args := callArgExprs(pkg.Info, x)
+				for _, j := range captured {
+					if j < len(args) {
+						mark(args[j])
+					}
+				}
+			}
+		}
+		return true
+	})
+	out := make([]int, 0, len(idx))
+	for i := range idx {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// callArgExprs returns the call's arguments with the method receiver
+// prepended, matching summary parameter numbering.
+func callArgExprs(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	var args []ast.Expr
+	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+		if _, isMethod := info.Selections[sel]; isMethod {
+			args = append(args, sel.X)
+		}
+	}
+	return append(args, call.Args...)
+}
+
+func runGoCapture(p *Pass) {
+	for _, f := range p.Files {
+		// Test files are exempt: harnesses legitimately capture test-local
+		// state (counters, t, collected traces) in probe callbacks, and the
+		// CI race pass already runs the whole test suite. The capture
+		// discipline is for model code, which test files are not.
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			checkCaptures(p, fd)
+		}
+	}
+}
+
+func checkCaptures(p *Pass, fd *ast.FuncDecl) {
+	// Enclosing-declaration parameters are excluded from literal-side
+	// checks: the capture summary holds every call site to the rule
+	// instead, where the concrete argument is visible.
+	declParams := map[types.Object]bool{}
+	for _, obj := range paramObjects(&Package{Info: p.Info}, fd) {
+		declParams[obj] = true
+	}
+
+	scopes := ctxScopes(p.Info, fd)
+	inCallback := func(n ast.Node) bool {
+		for _, s := range scopes {
+			if n.Pos() >= s.body.Pos() && n.Pos() < s.body.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	checked := map[*ast.FuncLit]bool{}
+	checkLit := func(lit *ast.FuncLit, how string) {
+		if checked[lit] {
+			return
+		}
+		checked[lit] = true
+		for _, cv := range freeVars(p.Info, lit) {
+			if declParams[cv.obj] || p.capturable(cv.obj.Type()) {
+				continue
+			}
+			p.Reportf(cv.pos.Pos(),
+				"closure %s captures %s %s; capture an immutable snapshot, actor-state, or a mutex-guarded handle — or move the data into a ShardCtx.Send message",
+				how, cv.obj.Name(), types.TypeString(cv.obj.Type(), nil))
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if inCallback(x) {
+				p.Reportf(x.Pos(),
+					"event callback spawns a goroutine the barrier protocol cannot see; schedule a follow-up event instead")
+			}
+		case *ast.FuncLit:
+			if isCtxCallback(p.Info, x) {
+				checkLit(x, "scheduled as an event callback")
+			}
+		case *ast.CallExpr:
+			if fn := schedClosureArg(p.Info, x); fn != nil {
+				if lit, isLit := ast.Unparen(fn).(*ast.FuncLit); isLit {
+					checkLit(lit, "passed to the sharded engine")
+				}
+			}
+			for _, key := range calleeKeys(p.Info, x, p.Prog.methodImpls) {
+				captured := p.Prog.captures[key]
+				if len(captured) == 0 {
+					continue
+				}
+				args := callArgExprs(p.Info, x)
+				for _, j := range captured {
+					if j >= len(args) {
+						continue
+					}
+					t := p.Info.TypeOf(args[j])
+					if t == nil || p.capturable(t) {
+						continue
+					}
+					p.Reportf(args[j].Pos(),
+						"argument %s is retained by %s's event closure (captured parameter) but %s cannot be safely captured; pass an immutable snapshot or route the data through ShardCtx.Send",
+						types.ExprString(args[j]), displayName(key), types.TypeString(t, nil))
+				}
+			}
+		}
+		return true
+	})
+}

@@ -214,7 +214,10 @@ func sortDiagnostics(ds []Diagnostic) {
 
 // Analyzers returns the full iobtlint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, SnapshotPair, MetricReg, DetTaint, EnumCase, ErrDrop}
+	return []*Analyzer{
+		DetRand, MapOrder, SnapshotPair, MetricReg, DetTaint, EnumCase, ErrDrop,
+		Shardown, GoCapture, BarrierState, LookaheadClamp,
+	}
 }
 
 // analyzePackage runs every analyzer in as over one loaded package and

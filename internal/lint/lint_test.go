@@ -6,6 +6,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"iobt/internal/sim"
 )
 
 func TestDetRandFixture(t *testing.T) {
@@ -71,8 +73,8 @@ func TestTreeClean(t *testing.T) {
 		t.Errorf("iobtlint findings on the tree:\n%s", b.String())
 	}
 	cov := Summarize(diags)
-	if cov.Analyzers != 7 {
-		t.Errorf("analyzer count = %d, want 7", cov.Analyzers)
+	if cov.Analyzers != 11 {
+		t.Errorf("analyzer count = %d, want 11", cov.Analyzers)
 	}
 	if cov.Allowed == 0 {
 		t.Error("expected at least one reasoned iobt:allow on the tree")
@@ -86,11 +88,11 @@ func TestCoverageSummary(t *testing.T) {
 		{Analyzer: "maporder", Message: "b", Suppressed: true, Reason: "r"},
 	}
 	cov := Summarize(diags)
-	if cov.Analyzers != 7 || cov.Findings != 1 || cov.Allowed != 1 {
+	if cov.Analyzers != 11 || cov.Findings != 1 || cov.Allowed != 1 {
 		t.Errorf("coverage = %+v", cov)
 	}
-	if len(cov.Names) != 7 || cov.Names[0] != "detrand" {
-		t.Errorf("names = %v, want 7 sorted analyzer names", cov.Names)
+	if len(cov.Names) != 11 || cov.Names[0] != "barrierstate" {
+		t.Errorf("names = %v, want 11 sorted analyzer names", cov.Names)
 	}
 	if cov.ByAnalyzer["detrand"].Findings != 1 || cov.ByAnalyzer["maporder"].Allowed != 1 {
 		t.Errorf("per-analyzer counts = %+v", cov.ByAnalyzer)
@@ -231,6 +233,66 @@ func TestAnalyzeMatchingFilters(t *testing.T) {
 	for _, d := range filtered {
 		if !strings.Contains(d.Pos.Filename, "errdrop") {
 			t.Errorf("glob \"errdrop\" leaked finding from %s", d.Pos.Filename)
+		}
+	}
+}
+
+func TestShardownFixture(t *testing.T) {
+	diags := runFixture(t, "shardown", Shardown)
+	requireSuppressed(t, diags, 1)
+}
+
+func TestGoCaptureFixture(t *testing.T) {
+	diags := runFixture(t, "gocapture", GoCapture)
+	requireSuppressed(t, diags, 1)
+}
+
+func TestBarrierStateFixture(t *testing.T) {
+	diags := runFixture(t, "barrierstate", BarrierState)
+	requireSuppressed(t, diags, 1)
+}
+
+func TestLookaheadClampFixture(t *testing.T) {
+	diags := runFixture(t, "lookaheadclamp", LookaheadClamp)
+	requireSuppressed(t, diags, 1)
+}
+
+// TestDefaultLookaheadMatchesRuntime pins the analyzer's compile-time
+// floor to the engine's actual default: if withDefaults ever changes,
+// lookaheadclamp must change with it or every threshold it applies is
+// wrong.
+func TestDefaultLookaheadMatchesRuntime(t *testing.T) {
+	eng := sim.NewSharded(1, sim.ShardedConfig{})
+	if got := eng.Lookahead(); got != DefaultLookahead {
+		t.Errorf("engine default Lookahead = %v, analyzer assumes %v; update lookaheadclamp.DefaultLookahead", got, DefaultLookahead)
+	}
+}
+
+// TestGoCaptureSummaries pins the interprocedural leg directly: the
+// fixture makers' escaping parameters are recorded in the program's
+// capture summaries, receiver-first like taint summaries.
+func TestGoCaptureSummaries(t *testing.T) {
+	pkg, err := LoadFixture("testdata/src/gocapture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram([]*Package{pkg})
+	cases := map[string][]int{
+		"iobtlint/fixture/gocapture.counterTick": {0},
+		"iobtlint/fixture/gocapture.frozenTick":  {0},
+		"iobtlint/fixture/gocapture.goodSend":    {1, 2, 3},
+	}
+	for key, want := range cases {
+		got := prog.captures[key]
+		if len(got) != len(want) {
+			t.Errorf("captures[%s] = %v, want %v", key, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("captures[%s] = %v, want %v", key, got, want)
+				break
+			}
 		}
 	}
 }

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"time"
+)
+
+// DefaultLookahead mirrors ShardedConfig.withDefaults: the conservative
+// window width a zero-valued config resolves to. A drift test pins this
+// against sim.NewSharded(1, sim.ShardedConfig{}).Lookahead(), so the
+// analyzer cannot silently disagree with the runtime.
+const DefaultLookahead = 100 * time.Millisecond
+
+// LookaheadClamp flags constant ShardCtx.Send delays below the default
+// engine lookahead. The runtime clamps such delays up to Lookahead
+// (internal/sim/shard.go, ShardCtx.Send) to preserve the conservative
+// window invariant, so the written constant is a lie: the model author
+// reads "5ms" and the engine delivers at 100ms. A constant below the
+// default is almost always a latency model that forgot the floor —
+// state it as max(latency, lookahead), raise it, or lower the
+// configured Lookahead to match the model's real minimum latency. Only
+// constants are flagged: computed delays are the expression idiom
+// (HopLatency * hops) whose floor the runtime clamp legitimately
+// enforces, and the ClampedSends counter accounts for them at run time.
+var LookaheadClamp = &Analyzer{
+	Name: "lookaheadclamp",
+	Doc:  "constant ShardCtx.Send delays below the default Lookahead are silently raised by the runtime clamp; state the floor explicitly or adjust Config.Lookahead",
+	Run:  runLookaheadClamp,
+}
+
+func runLookaheadClamp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !isSel || sel.Sel.Name != "Send" || len(call.Args) < 2 {
+				return true
+			}
+			if !namedIs(receiverNamed(p.Info, sel), "iobt/internal/sim", "ShardCtx") {
+				return true
+			}
+			delay := call.Args[1]
+			tv, known := p.Info.Types[delay]
+			if !known || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				return true // not a compile-time constant: runtime clamp territory
+			}
+			v, exact := constant.Int64Val(tv.Value)
+			if exact && v >= 0 && time.Duration(v) < DefaultLookahead {
+				p.Reportf(delay.Pos(),
+					"constant Send delay %v is below the default Lookahead %v and will be silently clamped; write the intended floor explicitly or configure a smaller Lookahead",
+					time.Duration(v), DefaultLookahead)
+			}
+			return true
+		})
+	}
+}

@@ -24,6 +24,15 @@ type Program struct {
 	methodImpls map[string][]string
 	findings    []programFinding
 	seen        map[string]bool
+
+	// notes indexes the //iobt: shard-safety annotations across every
+	// loaded package (see annotations.go).
+	notes *annotations
+	// captures maps a function key to the parameter indices (receiver
+	// first, matching Summary numbering) that flow into an event closure
+	// the function schedules or returns — the interprocedural leg of the
+	// gocapture analyzer.
+	captures map[string][]int
 }
 
 // maxSCCIterations bounds fixpoint iteration inside one recursive
@@ -40,6 +49,8 @@ func NewProgram(pkgs []*Package) *Program {
 		summaries:   map[string]*Summary{},
 		seen:        map[string]bool{},
 		methodImpls: graph.methodImpls,
+		notes:       scanNotes(pkgs),
+		captures:    map[string][]int{},
 	}
 
 	for _, comp := range prog.Graph.sccs() {
@@ -66,6 +77,33 @@ func NewProgram(pkgs []*Package) *Program {
 			}
 		}
 	}
+	// Second bottom-up pass: capture summaries for gocapture. The same
+	// SCC order gives each function its callees' capture sets; cycles
+	// iterate to a fixpoint (capture sets only grow).
+	for _, comp := range prog.Graph.sccs() {
+		if len(comp) == 1 {
+			if set := computeCaptures(prog, comp[0]); len(set) > 0 {
+				prog.captures[comp[0].Key] = set
+			}
+			continue
+		}
+		for iter := 0; iter < maxSCCIterations; iter++ {
+			changed := false
+			for _, node := range comp {
+				next := computeCaptures(prog, node)
+				if len(next) != len(prog.captures[node.Key]) {
+					changed = true
+				}
+				if len(next) > 0 {
+					prog.captures[node.Key] = next
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
 	sort.Slice(prog.findings, func(i, j int) bool {
 		a, b := prog.findings[i], prog.findings[j]
 		if a.pkgPath != b.pkgPath {

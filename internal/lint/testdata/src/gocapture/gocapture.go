@@ -1,0 +1,100 @@
+// Package gocapture seeds the capture-discipline violations: an event
+// closure capturing a mutable local (map), a goroutine spawned inside
+// an event callback, and — the interprocedural case — a maker whose
+// parameter escapes into the returned callback, flagged at the call
+// site where the concrete slice is visible. The allowed captures
+// (immutables, the ShardCtx, //iobt:frozen setup context,
+// //iobt:actor-state values, mutex-guarded handles) must stay silent.
+package gocapture
+
+import (
+	"sync"
+
+	"iobt/internal/sim"
+)
+
+//iobt:actor-state
+type node struct {
+	count int
+}
+
+//iobt:frozen
+type table struct {
+	rows []int
+}
+
+// stats is a mutex-guarded handle: safe to capture because every
+// access inside the closure goes through its own lock.
+type stats struct {
+	mu sync.Mutex
+	n  int
+}
+
+// goodSend exercises every allowed capture shape in one closure.
+func goodSend(c *sim.ShardCtx, t *table, st *stats, n *node) {
+	limit := 3
+	c.Send(0, 0, "ok", func(c *sim.ShardCtx) {
+		if n.count < limit {
+			st.mu.Lock()
+			st.n += t.rows[0]
+			st.mu.Unlock()
+		}
+	})
+}
+
+// armGood holds goodSend's call site to the same rules: every argument
+// retained by its closure is itself capturable, so nothing fires.
+func armGood(c *sim.ShardCtx, t *table, st *stats, n *node) {
+	goodSend(c, t, st, n)
+}
+
+// badSend captures a mutable local map: the closure runs later on
+// whichever worker owns the destination actor, racing this one.
+func badSend(c *sim.ShardCtx, buf []byte) {
+	local := map[int]bool{}
+	c.Send(1, 0, "bad", func(c *sim.ShardCtx) {
+		local[len(buf)] = true // want `closure passed to the sharded engine captures local map\[int\]bool`
+	})
+}
+
+// spawn breaks the barrier protocol outright: a goroutine started
+// inside an event callback outlives the event and the window.
+func spawn(c *sim.ShardCtx) {
+	done := make(chan struct{})
+	go func() { // want `event callback spawns a goroutine the barrier protocol cannot see`
+		close(done)
+	}()
+}
+
+// counterTick is a maker: hits escapes into the returned callback, so
+// the parameter is marked captured and call sites carry the check.
+func counterTick(hits []int) func(*sim.ShardCtx) {
+	return func(c *sim.ShardCtx) {
+		hits[0]++
+	}
+}
+
+// frozenTick is the clean maker shape: the captured parameter is
+// //iobt:frozen, so call sites pass.
+func frozenTick(t *table) func(*sim.ShardCtx) {
+	return func(c *sim.ShardCtx) {
+		_ = t.rows
+	}
+}
+
+// arm wires both makers up: the frozen capture passes, the shared
+// mutable slice is flagged where it is handed over.
+func arm(eng *sim.Sharded, t *table, shared []int) {
+	eng.ScheduleActor(0, 0, "frozen", frozenTick(t))
+	eng.ScheduleActor(1, 0, "tick", counterTick(shared)) // want `argument shared is retained by counterTick's event closure`
+}
+
+// armReplay documents the waiver shape: a slice that is provably never
+// written after scheduling, carried with a reason.
+func armReplay(eng *sim.Sharded) {
+	trace := []int{1, 2, 3}
+	eng.ScheduleActor(2, 0, "replay", func(c *sim.ShardCtx) {
+		//iobt:allow gocapture trace is fully built before scheduling and never written afterwards; it is a replay constant
+		_ = trace[0]
+	})
+}

@@ -1,0 +1,34 @@
+// Package lookaheadclamp seeds constant ShardCtx.Send delays below the
+// default engine Lookahead: the runtime silently raises them to the
+// window width, so the written constant misstates the model. Delays at
+// or above the floor, computed delays (the HopLatency*hops idiom whose
+// floor the runtime clamp legitimately enforces), and local Schedule
+// delays (no lookahead requirement) must stay silent.
+package lookaheadclamp
+
+import (
+	"time"
+
+	"iobt/internal/sim"
+)
+
+// pollEvery is below the 100ms default floor: the named constant is
+// flagged at the call site, same as a literal.
+const pollEvery = 5 * time.Millisecond
+
+func noop(*sim.ShardCtx) {}
+
+func tick(c *sim.ShardCtx, dst sim.ActorID, hop time.Duration) {
+	c.Send(dst, 20*time.Millisecond, "poll", noop) // want `constant Send delay 20ms is below the default Lookahead 100ms`
+	c.Send(dst, pollEvery, "poll", noop)           // want `constant Send delay 5ms is below the default Lookahead 100ms`
+	c.Send(dst, 100*time.Millisecond, "ok", noop)  // at the floor: exactly what the engine delivers
+	c.Send(dst, 3*hop, "ok", noop)                 // computed: runtime clamp territory, ClampedSends accounts for it
+	c.Schedule(time.Millisecond, "local", noop)    // local events need no lookahead
+}
+
+// fastProbe documents the waiver shape: a scenario that configures a
+// smaller Lookahead than the default, stated in the reason.
+func fastProbe(c *sim.ShardCtx, dst sim.ActorID) {
+	//iobt:allow lookaheadclamp this scenario configures Lookahead=1ms, below the default the analyzer assumes; 2ms clears the real floor
+	c.Send(dst, 2*time.Millisecond, "probe", noop)
+}

@@ -173,6 +173,11 @@ type ShardResult struct {
 	DeliveryRatio float64
 	// Events is the total number of simulation events executed.
 	Events uint64
+	// ClampedSends counts Send delays the engine raised to the Lookahead
+	// floor. It is shard-count invariant (clamping is a pure function of
+	// the model's stated delay) and belongs in every fingerprint: a
+	// drifting value means the model's latencies changed meaning.
+	ClampedSends uint64
 	// Violations lists conservation-law breaches (empty on a healthy
 	// run; the E18 gate requires exactly zero).
 	Violations []string
@@ -181,7 +186,9 @@ type ShardResult struct {
 }
 
 // shardNode is one radio node's state, owned by its actor: only events
-// executing on the node mutate it.
+// executing on the node mutate it — enforced by the shardown analyzer.
+//
+//iobt:actor-state
 type shardNode struct {
 	id   NodeID
 	rng  *sim.RNG
@@ -202,7 +209,10 @@ type shardNode struct {
 // shardRun carries the immutable run context shared by all events: the
 // node table, the pure link-state parameters, and the fault schedule.
 // Everything here is written once at setup and only read during the
-// run, so workers share it safely.
+// run, so workers share it safely — the gocapture analyzer lets event
+// closures capture it on the strength of this annotation.
+//
+//iobt:frozen
 type shardRun struct {
 	sc    ShardScenario
 	nodes []*shardNode
@@ -365,8 +375,10 @@ func (r *shardRun) publishTick(eng *sim.Sharded, n *shardNode) func(*sim.ShardCt
 		n.selfHeld++
 		switch r.sc.Mode {
 		case ShardModeBFS:
+			//iobt:allow gocapture payload bytes are written once at publish and read-only on every hop; sharing the backing array IS the radio broadcast model
 			r.flood(c, n, key, data, now)
 		default:
+			//iobt:allow gocapture payload bytes are written once at publish and read-only on every hop; sharing the backing array IS the radio broadcast model
 			r.relay(c, n, key, data, r.sc.TTL, n.id, now)
 		}
 		if next := now + r.sc.PublishEvery; next <= r.sc.PublishUntil {
@@ -403,6 +415,7 @@ func (r *shardRun) relay(c *sim.ShardCtx, n *shardNode, key GossipKey, data []by
 	for _, p := range peers {
 		n.relays++
 		jitter := time.Duration(n.rng.Exp(float64(20 * time.Millisecond)))
+		//iobt:allow gocapture payload bytes are immutable after publish; every receiver stores the same backing array it would get from a codec round-trip
 		c.Send(sim.ActorID(p), r.sc.HopLatency+jitter, "gossip.data", r.receive(key, data, ttl-1, from))
 	}
 }
@@ -426,6 +439,7 @@ func (r *shardRun) receive(key GossipKey, data []byte, ttl int, from NodeID) fun
 			r.sc.OnDeliver(m.id, key, data, now)
 		}
 		if r.sc.Mode == ShardModeGossip {
+			//iobt:allow gocapture payload bytes are immutable after publish; the relay hands on the same read-only array it received
 			r.relay(c, m, key, data, ttl, from, now)
 		}
 	}
@@ -454,6 +468,7 @@ func (r *shardRun) flood(c *sim.ShardCtx, n *shardNode, key GossipKey, data []by
 			seen[p] = true
 			d := h.depth + 1
 			n.relays++
+			//iobt:allow gocapture payload bytes are immutable after publish; the analytic flood shares the same read-only array on every edge
 			c.Send(sim.ActorID(p), time.Duration(d)*r.sc.HopLatency, "bfs.data", r.receive(key, data, 0, n.id))
 			frontier = append(frontier, hop{p, d})
 		}
@@ -482,6 +497,7 @@ func (r *shardRun) antiEntropyTick(n *shardNode) func(*sim.ShardCtx) {
 				for i, key := range keys {
 					snap[i] = GossipPayload{Key: key, Data: n.holds[key]}
 				}
+				//iobt:allow gocapture snap is a fresh per-send snapshot never touched again by the sender; the payload arrays inside are publish-time immutable
 				c.Send(sim.ActorID(target), r.sc.HopLatency, "gossip.sync", r.repairFrom(snap))
 			}
 		}
@@ -536,7 +552,7 @@ func (r *shardRun) mobilityTick(n *shardNode) func(*sim.ShardCtx) {
 // collect folds per-node state into the result, checks the
 // conservation laws, and computes the ID-ordered digest.
 func (r *shardRun) collect(eng *sim.Sharded, shards int) *ShardResult {
-	res := &ShardResult{Mode: r.sc.Mode, Shards: shards, Nodes: r.sc.Nodes, Events: eng.Processed()}
+	res := &ShardResult{Mode: r.sc.Mode, Shards: shards, Nodes: r.sc.Nodes, Events: eng.Processed(), ClampedSends: eng.ClampedSends()}
 
 	pubSeq := make(map[NodeID]uint64)
 	for _, n := range r.nodes {

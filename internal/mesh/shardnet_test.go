@@ -53,9 +53,9 @@ func scenarioNames() []string {
 // journalResult logs every shard-count-invariant result field, so a
 // journal diff catches any divergence between runs.
 func journalResult(j *checkpoint.Journal, res *ShardResult) {
-	j.Logf(0, "mode=%s nodes=%d published=%d delivered=%d dup=%d relays=%d repairs=%d dropped=%d ratio=%.6f events=%d violations=%d digest=%016x",
+	j.Logf(0, "mode=%s nodes=%d published=%d delivered=%d dup=%d relays=%d repairs=%d dropped=%d ratio=%.6f events=%d clamped=%d violations=%d digest=%016x",
 		res.Mode, res.Nodes, res.Published, res.Delivered, res.Duplicates, res.Relays,
-		res.Repairs, res.DroppedDead, res.DeliveryRatio, res.Events, len(res.Violations), res.Digest)
+		res.Repairs, res.DroppedDead, res.DeliveryRatio, res.Events, res.ClampedSends, len(res.Violations), res.Digest)
 }
 
 // TestShardScenarioDeterminismAcrossShardCounts is the PR's headline
@@ -87,6 +87,35 @@ func TestShardScenarioDeterminismAcrossShardCounts(t *testing.T) {
 				t.Errorf("shard counts diverged: %v", d)
 			}
 		})
+	}
+}
+
+// TestShardScenarioClampedSends drives a hop latency below the engine's
+// 100ms lookahead so the runtime clamp fires, and asserts the counter
+// is populated in the result and shard-count invariant — clamping is a
+// pure function of the model's stated delays, never of the partition.
+// (The stock scenarios use 120ms hops, so their clamp count is zero;
+// this is the one place the floor is deliberately undercut.)
+func TestShardScenarioClampedSends(t *testing.T) {
+	sc := ShardScenario{Nodes: 32, HopLatency: 20 * time.Millisecond, Horizon: 60 * time.Second}
+	ref, err := RunShardScenario(5, 1, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.ClampedSends == 0 {
+		t.Fatal("20ms hops against a 100ms lookahead produced no clamped sends; the counter is dead")
+	}
+	for _, shards := range []int{2, 4} {
+		res, err := RunShardScenario(5, shards, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ClampedSends != ref.ClampedSends {
+			t.Errorf("shards=%d: ClampedSends = %d, want %d (shard-count invariant)", shards, res.ClampedSends, ref.ClampedSends)
+		}
+		if res.Digest != ref.Digest {
+			t.Errorf("shards=%d: digest %016x differs from 1-shard %016x", shards, res.Digest, ref.Digest)
+		}
 	}
 }
 

@@ -132,23 +132,28 @@ type migration struct {
 
 // lane is one shard's runtime state. The queue and clock are touched
 // only by the lane's worker during a window and by the coordinator at
-// barriers; the inbox is the only concurrently written structure.
+// barriers; the inbox is the only concurrently written structure. The
+// //iobt:barrier-only fields are enforced by the barrierstate analyzer:
+// access requires an //iobt:barrier function or the lane's own mutex.
 type lane struct {
-	id    int
+	id int
+	//iobt:barrier-only
 	queue shardHeap
-	now   time.Duration
+	//iobt:barrier-only
+	now time.Duration
 
 	inboxMu sync.Mutex
-	inbox   []*shardEvent
+	inbox   []*shardEvent //iobt:barrier-only
 
 	// migrations staged by this lane's own events during the window;
 	// drained by the coordinator at the barrier.
-	migrations []migration
+	migrations []migration //iobt:barrier-only
 
-	// processed and pending are mutated by the worker and read by
-	// aggregating observers at any time, hence atomic (mutex-free).
+	// processed, pending, and clamped are mutated by the worker and read
+	// by aggregating observers at any time, hence atomic (mutex-free).
 	processed atomic.Uint64
 	pending   atomic.Int64
+	clamped   atomic.Uint64
 
 	ctx ShardCtx // reused per event; never escapes the worker
 }
@@ -241,6 +246,18 @@ func (s *Sharded) Processed() uint64 {
 	return n
 }
 
+// ClampedSends returns how many Send delays were raised to the
+// Lookahead floor, aggregated from the per-shard atomic counters. Safe
+// from any goroutine. The count is attributed to the *sending* shard,
+// so it is shard-count dependent per lane but invariant in total.
+func (s *Sharded) ClampedSends() uint64 {
+	var n uint64
+	for _, ln := range s.lanes {
+		n += ln.clamped.Load()
+	}
+	return n
+}
+
 // Pending returns the number of queued events (heaps plus mailboxes),
 // aggregated from the per-shard atomic counters. Safe from any
 // goroutine.
@@ -304,6 +321,8 @@ func (s *Sharded) ActorShard(id ActorID) int {
 // current global clock. Setup-time counterpart of ShardCtx.Schedule;
 // call before Run or from an AtBarrier hook (workers are quiescent at a
 // barrier, so direct heap pushes are safe there).
+//
+//iobt:barrier
 func (s *Sharded) ScheduleActor(id ActorID, delay time.Duration, label string, fn func(*ShardCtx)) {
 	if s.running.Load() && !s.inBarrier.Load() {
 		panic("sim: ScheduleActor during Run (use ShardCtx.Schedule)")
@@ -435,6 +454,8 @@ func (s *Sharded) RunContext(ctx context.Context, horizon time.Duration) error {
 
 // nextEventTime returns the earliest queued event time across all lanes
 // (inboxes are empty between windows).
+//
+//iobt:barrier
 func (s *Sharded) nextEventTime() (time.Duration, bool) {
 	var next time.Duration
 	found := false
@@ -452,6 +473,8 @@ func (s *Sharded) nextEventTime() (time.Duration, bool) {
 
 // setNow raises the global clock (it never rewinds: an interrupted
 // window may leave the store ahead of an individual lane).
+//
+//iobt:barrier
 func (s *Sharded) setNow(t time.Duration) {
 	if int64(t) > s.nowNS.Load() {
 		s.nowNS.Store(int64(t))
@@ -492,6 +515,8 @@ func (s *Sharded) runWindow(ctx context.Context, end time.Duration, inclusive bo
 // boundary events wait for the barrier that delivers their mail —
 // inclusive only at the final horizon window, mirroring Engine's
 // at-most-limit semantics).
+//
+//iobt:barrier
 func (s *Sharded) laneWindow(ln *lane, ctx context.Context, end time.Duration, inclusive bool) {
 	done := ctx.Done()
 	for len(ln.queue) > 0 {
@@ -555,6 +580,8 @@ func (s *Sharded) takePanic() error {
 // drainInboxes merges every lane's mailbox into its heap. The mailbox
 // is sorted by the partition-independent event key first, so the merged
 // order never depends on which worker staged first.
+//
+//iobt:barrier
 func (s *Sharded) drainInboxes() {
 	for _, ln := range s.lanes {
 		ln.inboxMu.Lock()
@@ -575,6 +602,8 @@ func (s *Sharded) drainInboxes() {
 // pending event with them so nothing is dropped or duplicated. Staged
 // entries for one actor all come from its owning lane in execution
 // order, so "last staged wins" is deterministic.
+//
+//iobt:barrier
 func (s *Sharded) applyMigrations() {
 	for _, ln := range s.lanes {
 		if len(ln.migrations) == 0 {
@@ -587,6 +616,8 @@ func (s *Sharded) applyMigrations() {
 	}
 }
 
+//
+//iobt:barrier
 func (s *Sharded) moveActor(id ActorID, to int32) {
 	m := &s.actors[id]
 	if m.shard == to {
@@ -645,6 +676,8 @@ func (c *ShardCtx) Engine() *Sharded { return c.s }
 // Schedule queues a local follow-up event on the current actor. Local
 // events may use any non-negative delay — they stay on this shard and
 // need no lookahead.
+//
+//iobt:barrier
 func (c *ShardCtx) Schedule(delay time.Duration, label string, fn func(*ShardCtx)) {
 	if delay < 0 {
 		delay = 0
@@ -661,12 +694,15 @@ func (c *ShardCtx) Schedule(delay time.Duration, label string, fn func(*ShardCtx
 // to the engine Lookahead: anything sent during this window arrives in
 // a later one, staged in the mailbox of whichever shard owns dst and
 // merged at the barrier. Ordering is by (time, dst, sender,
-// sender-sequence).
+// sender-sequence). Each clamp increments the sending shard's counter,
+// surfaced by ClampedSends — a model whose latencies routinely ride the
+// floor is really simulating the Lookahead, not its stated delays.
 func (c *ShardCtx) Send(dst ActorID, delay time.Duration, label string, fn func(*ShardCtx)) {
 	s := c.s
 	s.mustActor(dst)
 	if delay < s.cfg.Lookahead {
 		delay = s.cfg.Lookahead
+		c.ln.clamped.Add(1)
 	}
 	src := &s.actors[c.actor]
 	ev := &shardEvent{at: c.at + delay, actor: dst, class: 1, a: uint64(c.actor), b: src.sendSeq, label: label, fn: fn}
@@ -688,6 +724,8 @@ func (c *ShardCtx) Send(dst ActorID, delay time.Duration, label string, fn func(
 // spatial layer calls this when mobility carries an actor across a
 // shard boundary). Migration never reorders events — ordering is keyed
 // by actor, not by shard.
+//
+//iobt:barrier
 func (c *ShardCtx) Migrate(shard int) {
 	if shard < 0 || shard >= c.s.cfg.Shards {
 		panic(fmt.Sprintf("sim: migrate to shard %d out of range [0,%d)", shard, c.s.cfg.Shards))

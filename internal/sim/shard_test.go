@@ -162,6 +162,52 @@ func TestShardedDeterminismAcrossShardCounts(t *testing.T) {
 // delivery landing exactly at the horizon must execute (or not)
 // identically whether sender and receiver share a shard. All sends
 // route through mailboxes precisely so this cannot diverge.
+// TestShardedClampedSends pins the Send clamp accounting: every delay
+// below Lookahead increments the counter exactly once, delays at or
+// above the floor never do, and the total is shard-count invariant
+// (clamping is a pure function of the model's stated delay).
+func TestShardedClampedSends(t *testing.T) {
+	s := NewSharded(7, ShardedConfig{Shards: 1, Lookahead: 100 * time.Millisecond})
+	s.AddActor(0, 0)
+	s.AddActor(1, 0)
+	s.ScheduleActor(0, 0, "emit", func(c *ShardCtx) {
+		//iobt:allow lookaheadclamp this test exists to exercise the runtime clamp; the sub-floor delay is the point
+		c.Send(1, 10*time.Millisecond, "below", func(*ShardCtx) {}) // clamped
+		//iobt:allow lookaheadclamp this test exists to exercise the runtime clamp; the sub-floor delay is the point
+		c.Send(1, 99*time.Millisecond, "edge", func(*ShardCtx) {})   // clamped
+		c.Send(1, 100*time.Millisecond, "floor", func(*ShardCtx) {}) // not clamped
+		c.Send(1, 250*time.Millisecond, "above", func(*ShardCtx) {}) // not clamped
+	})
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ClampedSends(); got != 2 {
+		t.Errorf("ClampedSends = %d, want 2 (10ms and 99ms below the 100ms floor)", got)
+	}
+
+	// The toy model draws Send delays in [0, 80)ms against a 50ms
+	// lookahead, so a healthy fraction clamps; the count must agree at
+	// every shard count because the model's delays do.
+	var want uint64
+	for i, shards := range []int{1, 2, 4} {
+		m := newToy(99, toyConfig{shards: shards, actors: 48, ticks: 12})
+		if err := m.s.Run(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		got := m.s.ClampedSends()
+		if i == 0 {
+			want = got
+			if want == 0 {
+				t.Fatal("toy model produced no clamped sends; the invariance check is vacuous")
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("shards=%d: ClampedSends = %d, want %d (shard-count invariant)", shards, got, want)
+		}
+	}
+}
+
 func TestShardedHorizonBoundaryDelivery(t *testing.T) {
 	const look = 100 * time.Millisecond
 	run := func(shards int) (uint64, uint64) {
