@@ -7,6 +7,9 @@
 //	benchtab -experiment E2 -quick    # one table at reduced scale
 //	benchtab -experiment E15 -format json > BENCH_E15.json
 //	benchtab -list                    # enumerate experiments
+//	benchtab -bench                   # pinned hot-path micro-benchmarks
+//	benchtab -bench -format json > BENCH_MICRO.json   # refresh the baseline
+//	benchtab -bench -compare BENCH_MICRO.json         # CI bench gate
 package main
 
 import (
@@ -35,9 +38,29 @@ func run(args []string) error {
 		quick      = fs.Bool("quick", false, "reduced workload sizes")
 		list       = fs.Bool("list", false, "list experiments and exit")
 		format     = fs.String("format", "table", "output format: table|csv|json")
+		bench      = fs.Bool("bench", false, "run the pinned hot-path micro-benchmarks instead of an experiment")
+		compare    = fs.String("compare", "", "with -bench: compare against this baseline JSON and fail on regression")
+		maxRegress = fs.Float64("maxregress", 0.15, "with -bench -compare: tolerated ns/op regression as a fraction (allocs/op tolerates nothing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *bench {
+		host := &experiments.Host{GOMAXPROCS: runtime.GOMAXPROCS(0), CPUs: runtime.NumCPU()}
+		t := runMicroBenches(host)
+		if *format == "json" {
+			fmt.Println(t.JSON())
+		} else {
+			fmt.Println(t.String())
+		}
+		if *compare != "" {
+			base, err := loadMicroBaseline(*compare)
+			if err != nil {
+				return err
+			}
+			return compareMicro(t, base, *maxRegress)
+		}
+		return nil
 	}
 	if *list {
 		for _, e := range experiments.All() {

@@ -1,0 +1,265 @@
+package main
+
+// The -bench mode: pinned hot-path micro-benchmarks run in-process
+// through testing.Benchmark, rendered as a table with events_per_sec
+// and allocs_per_op columns, and compared against a committed baseline
+// (BENCH_MICRO.json) by the CI bench gate. The loops mirror the
+// package benchmarks in internal/sim and internal/track — same bodies,
+// same steady states — so `go test -bench` and `benchtab -bench` read
+// the same costs.
+//
+// The gate's contract is asymmetric on purpose: ns/op may drift with
+// the host (the -maxregress fraction absorbs that), but allocs/op on a
+// zero-alloc path is a property of the code, not the machine — ANY
+// increase fails, with no tolerance.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"iobt/internal/experiments"
+	"iobt/internal/geo"
+	"iobt/internal/sim"
+	"iobt/internal/track"
+)
+
+// microBenchActors mirrors benchActors in internal/sim/bench_test.go.
+const microBenchActors = 64
+
+// A microBench is one pinned benchmark: a name stable enough to key a
+// committed baseline, and a body whose steady state the hotpath
+// analyzers hold at zero allocations.
+type microBench struct {
+	name string
+	doc  string
+	fn   func(b *testing.B)
+}
+
+// microBenches returns the pinned set, in render order. Every entry's
+// allocs/op is 0 at head; the bench gate keeps it there.
+func microBenches() []microBench {
+	return []microBench{
+		{
+			name: "engine_event",
+			doc:  "sequential engine: one steady-state Schedule+Step cycle",
+			fn: func(b *testing.B) {
+				eng := sim.NewEngine(1)
+				var tick func()
+				tick = func() { eng.Schedule(time.Millisecond, "tick", tick) }
+				eng.Schedule(time.Millisecond, "tick", tick)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Step()
+				}
+			},
+		},
+		{
+			name: "sharded_local_1",
+			doc:  "sharded engine, 1 shard: per-event cost of the local schedule path",
+			fn:   func(b *testing.B) { microShardedTick(b, 1) },
+		},
+		{
+			name: "sharded_local_4",
+			doc:  "sharded engine, 4 shards: local path with barrier overhead amortized",
+			fn:   func(b *testing.B) { microShardedTick(b, 4) },
+		},
+		{
+			name: "sharded_send_4",
+			doc:  "sharded engine, 4 shards: full cross-shard Send+mailbox+barrier path",
+			fn:   func(b *testing.B) { microShardedSend(b, 4) },
+		},
+		{
+			name: "tracker_observe",
+			doc:  "per-tick greedy GNN association at a steady 50-track population",
+			fn:   microTrackerObserve,
+		},
+	}
+}
+
+func microShardedTick(b *testing.B, shards int) {
+	s := sim.NewSharded(1, sim.ShardedConfig{Shards: shards, Lookahead: time.Millisecond})
+	var tick func(c *sim.ShardCtx)
+	tick = func(c *sim.ShardCtx) { c.Schedule(time.Millisecond, "tick", tick) }
+	for i := 0; i < microBenchActors; i++ {
+		s.AddActor(sim.ActorID(i), i%shards)
+		s.ScheduleActor(sim.ActorID(i), time.Millisecond, "tick", tick)
+	}
+	horizon := time.Duration((b.N+microBenchActors-1)/microBenchActors) * time.Millisecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(horizon); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func microShardedSend(b *testing.B, shards int) {
+	s := sim.NewSharded(1, sim.ShardedConfig{Shards: shards, Lookahead: time.Millisecond})
+	var relay func(c *sim.ShardCtx)
+	relay = func(c *sim.ShardCtx) {
+		//iobt:allow lookaheadclamp the engine above is configured with Lookahead: time.Millisecond, so a 1ms Send is exactly at the floor, not clamped
+		c.Send((c.Self()+1)%microBenchActors, time.Millisecond, "msg", relay)
+	}
+	for i := 0; i < microBenchActors; i++ {
+		s.AddActor(sim.ActorID(i), i%shards)
+	}
+	for i := 0; i < microBenchActors; i++ {
+		s.ScheduleActor(sim.ActorID(i), time.Millisecond, "seed", relay)
+	}
+	horizon := time.Duration((b.N+microBenchActors-1)/microBenchActors) * time.Millisecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(horizon); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func microTrackerObserve(b *testing.B) {
+	const targets = 50
+	tr := track.NewTracker(track.Config{})
+	dets := make([]track.Detection, targets)
+	pos := func(i int, t float64) (x, y float64) {
+		return float64(i%10)*200 + 10*math.Sin(t+float64(i)),
+			float64(i/10)*200 + 10*math.Cos(t+float64(i))
+	}
+	now := time.Duration(0)
+	fill := func() {
+		for i := range dets {
+			x, y := pos(i, now.Seconds())
+			dets[i] = track.Detection{Pos: geo.Point{X: x, Y: y}, Var: 25, Sensor: int32(i % 4)}
+		}
+	}
+	// Warm to the steady population so spawn-path allocations (waived
+	// per-new-target, not per-tick) stay out of the timed loop.
+	for tick := 0; tick < 5; tick++ {
+		now += time.Second
+		fill()
+		tr.Observe(now, dets)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += time.Second
+		fill()
+		tr.Observe(now, dets)
+	}
+}
+
+// A MicroResult is one benchmark's measured steady state. events_per_sec
+// is the reciprocal throughput reading of ns_per_op — the number the
+// paper-facing tables quote — and allocs_per_op is the number the gate
+// refuses to let grow.
+type MicroResult struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// A MicroTable is the -bench output: results in pinned order plus the
+// host envelope the numbers were measured under.
+type MicroTable struct {
+	Benchmarks []MicroResult     `json:"benchmarks"`
+	Host       *experiments.Host `json:"host,omitempty"`
+}
+
+// runMicroBenches executes every pinned benchmark through
+// testing.Benchmark (each self-tunes to roughly one second of work).
+func runMicroBenches(host *experiments.Host) *MicroTable {
+	t := &MicroTable{Host: host}
+	for _, mb := range microBenches() {
+		r := testing.Benchmark(mb.fn)
+		ns := float64(r.NsPerOp())
+		if r.N > 0 && r.T > 0 {
+			ns = float64(r.T.Nanoseconds()) / float64(r.N)
+		}
+		eps := 0.0
+		if ns > 0 {
+			eps = 1e9 / ns
+		}
+		t.Benchmarks = append(t.Benchmarks, MicroResult{
+			Name:         mb.name,
+			NsPerOp:      ns,
+			EventsPerSec: eps,
+			AllocsPerOp:  r.AllocsPerOp(),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+		})
+	}
+	return t
+}
+
+// String renders the text table.
+func (t *MicroTable) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %12s %16s %12s %12s\n",
+		"benchmark", "ns/op", "events_per_sec", "allocs/op", "bytes/op")
+	for _, r := range t.Benchmarks {
+		fmt.Fprintf(&sb, "%-18s %12.1f %16.0f %12d %12d\n",
+			r.Name, r.NsPerOp, r.EventsPerSec, r.AllocsPerOp, r.BytesPerOp)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// JSON renders the machine-readable form committed as BENCH_MICRO.json.
+func (t *MicroTable) JSON() string {
+	raw, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"error": %q}`, err)
+	}
+	return string(raw)
+}
+
+// loadMicroBaseline reads a committed MicroTable.
+func loadMicroBaseline(path string) (*MicroTable, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var t MicroTable
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// compareMicro gates cur against base: every baseline benchmark must
+// be present, may not exceed its baseline ns/op by more than
+// maxRegress (a fraction, e.g. 0.15), and may not allocate more per op
+// at all. All violations are reported together so one CI run shows the
+// whole regression, not its first line.
+func compareMicro(cur, base *MicroTable, maxRegress float64) error {
+	curBy := map[string]MicroResult{}
+	for _, r := range cur.Benchmarks {
+		curBy[r.Name] = r
+	}
+	var violations []string
+	for _, b := range base.Benchmarks {
+		c, ok := curBy[b.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s: in baseline but not produced by this run (renamed or dropped a pinned benchmark?)", b.Name))
+			continue
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/op %d > baseline %d — a zero-alloc path regressed; run iobtlint -only hotalloc,hotbox,defercycle and the sim alloc tests",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: ns/op %.1f > baseline %.1f by more than %.0f%%",
+				b.Name, c.NsPerOp, b.NsPerOp, 100*maxRegress))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("bench gate: %d regression(s) vs baseline:\n  %s",
+			len(violations), strings.Join(violations, "\n  "))
+	}
+	return nil
+}

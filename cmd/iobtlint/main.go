@@ -72,7 +72,12 @@ func run(args []string, stdout, stderr *os.File) int {
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fmt.Fprintf(stderr, "iobtlint: unknown analyzer %q (use -list)\n", name)
+				known := make([]string, 0, len(byName))
+				for n := range byName {
+					known = append(known, n)
+				}
+				sort.Strings(known)
+				fmt.Fprintf(stderr, "iobtlint: unknown analyzer %q; known analyzers: %s\n", name, strings.Join(known, ", "))
 				return 2
 			}
 			analyzers = append(analyzers, a)

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"iobt/internal/lint"
 )
 
 // listedAnalyzers runs the real -list path and parses the analyzer
@@ -99,5 +101,19 @@ func TestUnknownAnalyzerRejected(t *testing.T) {
 	defer f.Close()
 	if code := run([]string{"-only", "nosuchanalyzer"}, f, f); code != 2 {
 		t.Errorf("-only with unknown analyzer exited %d, want 2", code)
+	}
+	raw, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	if !strings.Contains(out, `unknown analyzer "nosuchanalyzer"`) {
+		t.Errorf("error output %q does not name the rejected analyzer", out)
+	}
+	// The error must teach the fix: every known analyzer, sorted, inline.
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("error output does not list known analyzer %q:\n%s", a.Name, out)
+		}
 	}
 }

@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -86,9 +88,37 @@ func run(args []string) error {
 		verif   = fs.Bool("verify", false, "arm the full invariant registry during the run and exit nonzero on any violation")
 		gossip  = fs.Bool("gossip", false, "replicate the common operational picture over an epidemic gossip overlay among composite members")
 		shards  = fs.Int("shards", 0, "run the spatially sharded engine with this many shards (COP dissemination scenario; 0 = classic sequential mission)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
+		memProf = fs.String("memprofile", "", "write an allocation profile at exit to this file (pprof format)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		// The alloc_space profile is the one the zero-alloc work reads:
+		// it records every allocation since start, not just live heap.
+		defer func() {
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "iobtsim: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	if *shards > 0 {
 		return runSharded(*seed, *shards, *assets, time.Duration(*minutes)*time.Minute, *replay, *verif)

@@ -199,6 +199,11 @@ type shardAsset struct {
 	healthChanges uint64
 	tracks        map[int]time.Duration // incident -> first local detection
 	reports       uint64
+
+	// Tick closures are built once at setup and rescheduled by value;
+	// re-invoking the maker every tick allocated a fresh closure per
+	// asset per cadence.
+	healthFn, senseFn, mobFn func(*sim.ShardCtx)
 }
 
 // shardPost is the command post's aggregated operational picture, owned
@@ -338,16 +343,19 @@ func RunShardMission(seed int64, shards int, sc ShardMissionConfig) (*ShardMissi
 
 	for i := 0; i < sc.Assets; i++ {
 		a := r.assets[i]
+		a.healthFn = r.healthTick(a)
 		hp := time.Duration(a.rng.Intn(int(sc.HealthEvery/time.Millisecond))) * time.Millisecond
-		eng.ScheduleActor(sim.ActorID(i), sc.HealthEvery+hp, "health", r.healthTick(a))
+		eng.ScheduleActor(sim.ActorID(i), sc.HealthEvery+hp, "health", a.healthFn)
+		a.senseFn = r.senseTick(a)
 		sp := time.Duration(a.rng.Intn(int(sc.SenseEvery/time.Millisecond))) * time.Millisecond
-		eng.ScheduleActor(sim.ActorID(i), sc.SenseEvery+sp, "sense", r.senseTick(a))
+		eng.ScheduleActor(sim.ActorID(i), sc.SenseEvery+sp, "sense", a.senseFn)
 		// Mobility ticks run at EVERY shard count (a 1-shard Migrate is a
 		// no-op): gating them on shards > 1 would skew both the per-asset
 		// stream and the processed-event count, breaking invariance.
 		if sc.MobilityEvery > 0 {
+			a.mobFn = r.mobilityTick(a)
 			mp := time.Duration(a.rng.Intn(int(sc.MobilityEvery/time.Millisecond))) * time.Millisecond
-			eng.ScheduleActor(sim.ActorID(i), sc.MobilityEvery+mp, "mobility", r.mobilityTick(a))
+			eng.ScheduleActor(sim.ActorID(i), sc.MobilityEvery+mp, "mobility", a.mobFn)
 		}
 	}
 
@@ -370,7 +378,7 @@ func (r *shardMission) healthTick(a *shardAsset) func(*sim.ShardCtx) {
 			c.Send(r.postID, r.sc.ReportLatency, "health.report", r.healthReport(a.id, a.healthSeq, next))
 		}
 		if now+r.sc.HealthEvery <= r.sc.Horizon {
-			c.Schedule(r.sc.HealthEvery, "health", r.healthTick(a))
+			c.Schedule(r.sc.HealthEvery, "health", a.healthFn)
 		}
 	}
 }
@@ -403,7 +411,7 @@ func (r *shardMission) senseTick(a *shardAsset) func(*sim.ShardCtx) {
 			}
 		}
 		if now+r.sc.SenseEvery <= r.sc.Horizon {
-			c.Schedule(r.sc.SenseEvery, "sense", r.senseTick(a))
+			c.Schedule(r.sc.SenseEvery, "sense", a.senseFn)
 		}
 	}
 }
@@ -416,7 +424,7 @@ func (r *shardMission) mobilityTick(a *shardAsset) func(*sim.ShardCtx) {
 		now := c.Now()
 		c.Migrate(r.sm.ShardOf(r.pos(a.id, now)))
 		if now+r.sc.MobilityEvery <= r.sc.Horizon {
-			c.Schedule(r.sc.MobilityEvery, "mobility", r.mobilityTick(a))
+			c.Schedule(r.sc.MobilityEvery, "mobility", a.mobFn)
 		}
 	}
 }

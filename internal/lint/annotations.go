@@ -29,6 +29,11 @@ import (
 //	//iobt:barrier        on a function: declares barrier/owning-worker
 //	                      context, licensing access to barrier-only
 //	                      fields (barrierstate).
+//	//iobt:hot            on a function: the body executes per simulation
+//	                      event, so the hotpath analyzers (hotalloc,
+//	                      hotbox, defercycle) hold it — and, through
+//	                      bottom-up allocation summaries, every helper it
+//	                      calls — to the zero-allocation discipline.
 //
 // An annotation that is not anchored to a declaration of the right kind
 // is itself a finding (reported by the owning analyzer), so the
@@ -39,10 +44,11 @@ const (
 	noteFrozen      = "frozen"
 	noteBarrierOnly = "barrier-only"
 	noteBarrier     = "barrier"
+	noteHot         = "hot"
 )
 
 // noteRe matches one annotation comment line.
-var noteRe = regexp.MustCompile(`^//\s*iobt:(actor-state|frozen|barrier-only|barrier)\b`)
+var noteRe = regexp.MustCompile(`^//\s*iobt:(actor-state|frozen|barrier-only|barrier|hot)\b`)
 
 // A noteSite is one annotation comment that could not be anchored to a
 // declaration of the kind it applies to.
@@ -133,7 +139,7 @@ func scanPackageNotes(notes *annotations, pkg *Package) {
 
 	typeNotes := map[string]bool{noteActorState: true, noteFrozen: true}
 	fieldNotes := map[string]bool{noteBarrierOnly: true}
-	funcNotes := map[string]bool{noteBarrier: true}
+	funcNotes := map[string]bool{noteBarrier: true, noteHot: true}
 
 	for _, f := range pkg.Files {
 		for _, decl := range f.Decls {

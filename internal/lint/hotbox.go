@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotBox flags interface boxing on //iobt:hot paths. Converting a
+// non-pointer-shaped concrete value (a struct, slice, string, or plain
+// int) into an interface heap-allocates the boxed copy, and on a
+// per-event path that is one hidden allocation per event — invisible
+// in the source, top of the memprofile. Pointer-shaped values
+// (pointers, channels, maps, funcs) box without allocating and are not
+// flagged. The analyzer reports:
+//
+//   - arguments passed to interface (including any) parameters;
+//   - assignments of concrete values to interface-typed variables or
+//     fields;
+//   - returns of concrete values through interface results;
+//   - method values (x.M used as a value), each of which allocates a
+//     bound-method closure.
+//
+// The fix is usually one of: a concrete-typed API, a pointer payload
+// (*frame instead of frame), or hoisting the conversion out of the
+// event loop. Boxing inside a panic(...) argument is exempt — a crash
+// path's formatting is not a per-event cost.
+var HotBox = &Analyzer{
+	Name: "hotbox",
+	Doc:  "//iobt:hot functions must not box non-pointer-shaped values into interfaces (arguments, assignments, returns) or take method values; each boxing is a hidden per-event allocation",
+	Run:  runHotBox,
+}
+
+// pointerShaped reports whether values of t box into an interface
+// without allocating: single-word reference types.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+// boxes reports whether assigning src to a dst location allocates: dst
+// is an interface and src is concrete and not pointer-shaped.
+func boxes(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	if _, isIface := src.Underlying().(*types.Interface); isIface {
+		return false // interface→interface copies the existing box
+	}
+	return !pointerShaped(src)
+}
+
+func runHotBox(p *Pass) {
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			fn, isFn := p.Info.Defs[fd.Name].(*types.Func)
+			if !isFn || !p.Prog.notes.funcHas(fn, noteHot) {
+				continue
+			}
+			checkBoxing(p, fd, fn)
+		}
+	}
+}
+
+func checkBoxing(p *Pass, fd *ast.FuncDecl, fn *types.Func) {
+	q := func(pkg *types.Package) string { return pkg.Name() }
+	report := func(pos ast.Node, src, dst types.Type, how string) {
+		p.Reportf(pos.Pos(), "%s boxes %s into %s (one allocation per event); use a concrete type, a pointer payload, or hoist the conversion out of the hot path",
+			how, types.TypeString(src, q), types.TypeString(dst, q))
+	}
+
+	// Method-value detection needs to know which selectors are call
+	// targets (x.M() is dispatch, not a bound-method closure).
+	called := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+				called[sel] = true
+			}
+		}
+		return true
+	})
+
+	var litDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// The literal's body is still per-event code of this hot
+			// function, but its returns belong to the literal's own
+			// signature, which litDepth tracks.
+			litDepth++
+			ast.Inspect(x.Body, walk)
+			litDepth--
+			return false
+		case *ast.CallExpr:
+			if isPanicCall(p.Info, x) {
+				return false // crash path: boxing the message's verbs ends the run, not an event
+			}
+			checkCallBoxing(p, x, report)
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					dst, src := p.Info.TypeOf(x.Lhs[i]), p.Info.TypeOf(x.Rhs[i])
+					if boxes(dst, src) {
+						report(x.Rhs[i], src, dst, "assignment")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if litDepth > 0 {
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			for i, res := range x.Results {
+				if i >= sig.Results().Len() {
+					break
+				}
+				dst, src := sig.Results().At(i).Type(), p.Info.TypeOf(res)
+				if boxes(dst, src) {
+					report(res, src, dst, "return")
+				}
+			}
+		case *ast.SelectorExpr:
+			if called[x] {
+				return true
+			}
+			if s, isSel := p.Info.Selections[x]; isSel && s.Kind() == types.MethodVal {
+				p.Reportf(x.Pos(), "method value %s allocates a bound-method closure per evaluation; call it directly or hoist the binding",
+					types.ExprString(x))
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkCallBoxing flags concrete arguments passed to interface
+// parameters, including the expansion of variadic ...any tails and
+// explicit conversions like any(v).
+func checkCallBoxing(p *Pass, call *ast.CallExpr, report func(ast.Node, types.Type, types.Type, string)) {
+	// Explicit conversion to an interface type.
+	if tv, isType := p.Info.Types[call.Fun]; isType && tv.IsType() && len(call.Args) == 1 {
+		if src := p.Info.TypeOf(call.Args[0]); boxes(tv.Type, src) {
+			report(call.Args[0], src, tv.Type, "conversion")
+		}
+		return
+	}
+	sig, isSig := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !isSig {
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		return // s... passes the slice through; no per-element boxing
+	}
+	for i, arg := range call.Args {
+		var dst types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			s, isSlice := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice)
+			if !isSlice {
+				continue
+			}
+			dst = s.Elem()
+		case i < sig.Params().Len():
+			dst = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if src := p.Info.TypeOf(arg); boxes(dst, src) {
+			report(arg, src, dst, "argument")
+		}
+	}
+}

@@ -217,6 +217,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DetRand, MapOrder, SnapshotPair, MetricReg, DetTaint, EnumCase, ErrDrop,
 		Shardown, GoCapture, BarrierState, LookaheadClamp,
+		HotAlloc, HotBox, DeferCycle,
 	}
 }
 

@@ -73,8 +73,8 @@ func TestTreeClean(t *testing.T) {
 		t.Errorf("iobtlint findings on the tree:\n%s", b.String())
 	}
 	cov := Summarize(diags)
-	if cov.Analyzers != 11 {
-		t.Errorf("analyzer count = %d, want 11", cov.Analyzers)
+	if cov.Analyzers != 14 {
+		t.Errorf("analyzer count = %d, want 14", cov.Analyzers)
 	}
 	if cov.Allowed == 0 {
 		t.Error("expected at least one reasoned iobt:allow on the tree")
@@ -88,11 +88,11 @@ func TestCoverageSummary(t *testing.T) {
 		{Analyzer: "maporder", Message: "b", Suppressed: true, Reason: "r"},
 	}
 	cov := Summarize(diags)
-	if cov.Analyzers != 11 || cov.Findings != 1 || cov.Allowed != 1 {
+	if cov.Analyzers != 14 || cov.Findings != 1 || cov.Allowed != 1 {
 		t.Errorf("coverage = %+v", cov)
 	}
-	if len(cov.Names) != 11 || cov.Names[0] != "barrierstate" {
-		t.Errorf("names = %v, want 11 sorted analyzer names", cov.Names)
+	if len(cov.Names) != 14 || cov.Names[0] != "barrierstate" {
+		t.Errorf("names = %v, want 14 sorted analyzer names", cov.Names)
 	}
 	if cov.ByAnalyzer["detrand"].Findings != 1 || cov.ByAnalyzer["maporder"].Allowed != 1 {
 		t.Errorf("per-analyzer counts = %+v", cov.ByAnalyzer)
@@ -255,6 +255,52 @@ func TestBarrierStateFixture(t *testing.T) {
 func TestLookaheadClampFixture(t *testing.T) {
 	diags := runFixture(t, "lookaheadclamp", LookaheadClamp)
 	requireSuppressed(t, diags, 1)
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	diags := runFixture(t, "hotalloc", HotAlloc)
+	requireSuppressed(t, diags, 1)
+}
+
+func TestHotBoxFixture(t *testing.T) {
+	runFixture(t, "hotbox", HotBox)
+}
+
+func TestDeferCycleFixture(t *testing.T) {
+	diags := runFixture(t, "defercycle", DeferCycle)
+	requireSuppressed(t, diags, 1)
+}
+
+// TestAllocSummaries pins hotalloc's interprocedural leg directly: the
+// fixture's cold helpers carry allocation facts, and the two-frame
+// chain (hotCaller → wrap → newPoint) survives propagation — the case
+// a per-function pass like maporder or a taint pass like dettaint
+// cannot express.
+func TestAllocSummaries(t *testing.T) {
+	pkg, err := LoadFixture("testdata/src/hotalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram([]*Package{pkg})
+	cases := map[string]string{
+		"iobtlint/fixture/hotalloc.newPoint": "composite literal",
+		"iobtlint/fixture/hotalloc.wrap":     "calls newPoint, which composite literal",
+		"iobtlint/fixture/hotalloc.makeTick": "returns a closure capturing hits",
+	}
+	for key, want := range cases {
+		facts := prog.AllocFacts(key)
+		if len(facts) == 0 {
+			t.Errorf("AllocFacts(%s) empty, want a fact containing %q", key, want)
+			continue
+		}
+		if !strings.Contains(facts[0], want) {
+			t.Errorf("AllocFacts(%s)[0] = %q, want containing %q", key, facts[0], want)
+		}
+	}
+	// The clean reuse shapes must summarize as non-allocating.
+	if facts := prog.AllocFacts("(*iobtlint/fixture/hotalloc.holder).reused"); len(facts) != 0 {
+		t.Errorf("reused buffer shape summarized as allocating: %v", facts)
+	}
 }
 
 // TestDefaultLookaheadMatchesRuntime pins the analyzer's compile-time

@@ -33,6 +33,10 @@ type Program struct {
 	// the function schedules or returns — the interprocedural leg of the
 	// gocapture analyzer.
 	captures map[string][]int
+	// allocFacts maps a function key to short descriptions of the
+	// per-event heap allocations it performs, directly or transitively —
+	// the interprocedural leg of the hotalloc analyzer.
+	allocFacts map[string][]string
 }
 
 // maxSCCIterations bounds fixpoint iteration inside one recursive
@@ -51,6 +55,7 @@ func NewProgram(pkgs []*Package) *Program {
 		methodImpls: graph.methodImpls,
 		notes:       scanNotes(pkgs),
 		captures:    map[string][]int{},
+		allocFacts:  map[string][]string{},
 	}
 
 	for _, comp := range prog.Graph.sccs() {
@@ -96,6 +101,33 @@ func NewProgram(pkgs []*Package) *Program {
 				}
 				if len(next) > 0 {
 					prog.captures[node.Key] = next
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	// Third bottom-up pass: allocation summaries for hotalloc. Same SCC
+	// order; cycles iterate to a fixpoint (fact lists are capped, and
+	// comparison is on the rendered facts).
+	for _, comp := range prog.Graph.sccs() {
+		if len(comp) == 1 {
+			if facts := computeAllocFacts(prog, comp[0]); len(facts) > 0 {
+				prog.allocFacts[comp[0].Key] = facts
+			}
+			continue
+		}
+		for iter := 0; iter < maxSCCIterations; iter++ {
+			changed := false
+			for _, node := range comp {
+				next := computeAllocFacts(prog, node)
+				if strings.Join(next, "\x00") != strings.Join(prog.allocFacts[node.Key], "\x00") {
+					changed = true
+				}
+				if len(next) > 0 {
+					prog.allocFacts[node.Key] = next
 				}
 			}
 			if !changed {

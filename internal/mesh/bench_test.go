@@ -1,0 +1,36 @@
+package mesh
+
+// Dissemination-path micro-benchmarks: one op is a full epidemic
+// spread of a single publish across an 8×8 member grid (rumor
+// mongering only; anti-entropy is disabled so the relay/receive path
+// dominates). allocs/op therefore reads as the whole-overlay
+// allocation cost of disseminating one payload.
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkGossipPublishSpread(b *testing.B) {
+	eng, _, net := gridWorld(b, 7, 8, 8, 100)
+	g := joinAll(net, GossipConfig{Fanout: 3, TTL: 10, AntiEntropyEvery: -1})
+	g.Start()
+	// Warm the overlay so lazy setup (routing tables, member maps) is
+	// outside the measured loop.
+	if _, err := g.Publish(0, "cop", 64, "warm"); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Run(30 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Publish(0, "cop", 64, "picture"); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Run(30 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -132,6 +132,12 @@ type Gossip struct {
 
 	ticker *sim.Ticker
 
+	// peerBuf backs memberPeers: the overlay is single-threaded and no
+	// caller holds the returned slice across another memberPeers call,
+	// so one reused buffer serves every relay decision without a
+	// per-frame allocation.
+	peerBuf []NodeID
+
 	// prevHeld remembers each member's held count at the last
 	// CheckConservation call; anti-entropy must never regress it.
 	prevHeld map[NodeID]int
@@ -287,13 +293,13 @@ func (g *Gossip) DeliveryRatio() float64 {
 func (g *Gossip) handle(m *gossipMember, msg Message) {
 	switch msg.Kind {
 	case KindGossipData:
-		frame, ok := msg.Payload.(gossipDataFrame)
+		frame, ok := msg.Payload.(*gossipDataFrame)
 		if !ok {
 			return
 		}
 		g.receive(m, frame.Payload, frame.TTL, msg.From)
 	case KindGossipDigest:
-		frame, ok := msg.Payload.(gossipDigestFrame)
+		frame, ok := msg.Payload.(*gossipDigestFrame)
 		if !ok {
 			return
 		}
@@ -340,6 +346,8 @@ func (g *Gossip) receive(m *gossipMember, p GossipPayload, ttl int, from NodeID)
 // neighbors, excluding the node it arrived from. Candidates are sorted
 // before the seeded shuffle so peer choice depends only on the seed and
 // the topology, never on map iteration order.
+//
+//iobt:hot
 func (g *Gossip) relay(m *gossipMember, p GossipPayload, ttl int, exclude NodeID) {
 	peers := g.memberPeers(m.id, exclude)
 	if len(peers) == 0 {
@@ -350,11 +358,15 @@ func (g *Gossip) relay(m *gossipMember, p GossipPayload, ttl int, exclude NodeID
 	if k > len(peers) {
 		k = len(peers)
 	}
-	frame := gossipDataFrame{Payload: p, TTL: ttl}
+	// One shared frame per relay decision: Message.Payload is an
+	// interface, so a pointer frame costs one allocation for the whole
+	// fanout where a value frame would box once per peer.
+	//iobt:allow hotalloc the frame is the message: one pointer payload shared across the whole fanout, freed when the last delivery fires
+	frame := &gossipDataFrame{Payload: p, TTL: ttl}
 	for _, peer := range peers[:k] {
 		g.FramesSent.Inc()
 		//iobt:allow errdrop gossip is fire-and-forget by design: a refused or lost frame is repaired by the next anti-entropy round
-		g.net.SendDirect(Message{
+		g.net.SendDirect(Message{ //iobt:allow hotalloc the Engine-based mesh pays one path slice and one hop closure per transmitted frame — the modeled radio transmission; the sharded overlay is the zero-alloc path
 			From:    m.id,
 			To:      peer,
 			Size:    p.Size + g.cfg.FrameOverhead,
@@ -365,9 +377,12 @@ func (g *Gossip) relay(m *gossipMember, p GossipPayload, ttl int, exclude NodeID
 }
 
 // memberPeers returns m's current neighbors that are also overlay
-// members, ascending, excluding exclude.
+// members, ascending, excluding exclude. The returned slice aliases
+// g.peerBuf and is only valid until the next call.
+//
+//iobt:hot
 func (g *Gossip) memberPeers(id, exclude NodeID) []NodeID {
-	var peers []NodeID
+	peers := g.peerBuf[:0]
 	for _, nb := range g.net.Neighbors(id) {
 		if nb == exclude {
 			continue
@@ -377,6 +392,7 @@ func (g *Gossip) memberPeers(id, exclude NodeID) []NodeID {
 		}
 	}
 	sortNodeIDs(peers)
+	g.peerBuf = peers
 	return peers
 }
 
@@ -408,7 +424,7 @@ func (g *Gossip) antiEntropyRound() {
 
 // digest summarizes m's holdings with deterministic ordering: origins
 // ascending, sequence numbers ascending within each origin.
-func (g *Gossip) digest(m *gossipMember) gossipDigestFrame {
+func (g *Gossip) digest(m *gossipMember) *gossipDigestFrame {
 	keys := make([]GossipKey, 0, len(m.have))
 	for key := range m.have {
 		keys = append(keys, key)
@@ -422,12 +438,12 @@ func (g *Gossip) digest(m *gossipMember) gossipDigestFrame {
 		}
 		entries = append(entries, digestEntry{Origin: key.Origin, Seqs: []uint64{key.Seq}})
 	}
-	return gossipDigestFrame{From: m.id, Entries: entries}
+	return &gossipDigestFrame{From: m.id, Entries: entries}
 }
 
 // repair pushes every payload m holds that the digest sender lacks back
 // to the sender, with the full TTL budget so the repair floods onward.
-func (g *Gossip) repair(m *gossipMember, frame gossipDigestFrame) {
+func (g *Gossip) repair(m *gossipMember, frame *gossipDigestFrame) {
 	if _, ok := g.members[frame.From]; !ok {
 		return
 	}
@@ -454,7 +470,7 @@ func (g *Gossip) repair(m *gossipMember, frame gossipDigestFrame) {
 			To:      frame.From,
 			Size:    p.Size + g.cfg.FrameOverhead,
 			Kind:    KindGossipData,
-			Payload: gossipDataFrame{Payload: p, TTL: g.cfg.TTL},
+			Payload: &gossipDataFrame{Payload: p, TTL: g.cfg.TTL},
 		})
 	}
 }

@@ -12,7 +12,7 @@ import (
 // gridWorld builds cols×rows static sensors spaced apart so each links
 // to its orthogonal and diagonal neighbors only. Loss is disabled so
 // protocol behavior is exact.
-func gridWorld(t *testing.T, seed int64, cols, rows int, spacing float64) (*sim.Engine, *asset.Population, *Network) {
+func gridWorld(t testing.TB, seed int64, cols, rows int, spacing float64) (*sim.Engine, *asset.Population, *Network) {
 	t.Helper()
 	eng := sim.NewEngine(seed)
 	side := float64(cols+rows) * spacing

@@ -1,6 +1,9 @@
 package mesh
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Route returns the current shortest path (in hops) from src to dst,
 // including both endpoints, or nil if dst is unreachable. Paths are
@@ -117,5 +120,7 @@ func (n *Network) Components(minSize int) [][]NodeID {
 }
 
 func sortNodeIDs(s []NodeID) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// slices.Sort, not sort.Slice: the latter allocates a closure and a
+	// reflect swapper per call, and this runs per relayed frame.
+	slices.Sort(s)
 }

@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"sort"
 	"time"
 
 	"iobt/internal/geo"
@@ -203,6 +202,19 @@ type shardNode struct {
 
 	holds map[GossipKey][]byte
 
+	// peerBuf/candBuf back the node's own link-state queries (relay,
+	// anti-entropy). They are actor-state like everything else here:
+	// only this node's events touch them, so reuse is race-free. The
+	// BFS flood walks *other* nodes' link state and must not borrow
+	// these — it keeps its own scratch.
+	peerBuf []NodeID
+	candBuf []int32
+
+	// Tick closures are built once at setup and rescheduled by value;
+	// re-invoking the maker every tick allocated a fresh closure per
+	// node per cadence.
+	pubFn, aeFn, mobFn func(*sim.ShardCtx)
+
 	selfHeld, delivered, duplicates, relays, repairs, dropped uint64
 }
 
@@ -259,18 +271,20 @@ func (r *shardRun) linked(a, b NodeID, t time.Duration) bool {
 
 // peers returns the nodes linked to id at time t, ascending by ID. The
 // candidate set comes from a static spatial hash over home positions
-// with the drift-padded radius, so the scan is local, not O(N).
-func (r *shardRun) peers(dst []NodeID, id NodeID, t time.Duration) []NodeID {
+// with the drift-padded radius, so the scan is local, not O(N). Both
+// scratch slices are reused through the returned pair — callers on the
+// hot path thread the owning node's buffers, the BFS flood its own.
+func (r *shardRun) peers(dst []NodeID, cand []int32, id NodeID, t time.Duration) ([]NodeID, []int32) {
 	dst = dst[:0]
-	cand := r.grid.Near(nil, r.pos(id, t), r.reach)
+	cand = r.grid.Near(cand[:0], r.pos(id, t), r.reach)
 	for _, c := range cand {
 		nb := NodeID(c)
 		if nb != id && r.linked(id, nb, t) {
 			dst = append(dst, nb)
 		}
 	}
-	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
-	return dst
+	sortNodeIDs(dst)
+	return dst, cand
 }
 
 // RunShardScenario executes one dissemination scenario on a sharded
@@ -335,20 +349,23 @@ func RunShardScenario(seed int64, shards int, sc ShardScenario) (*ShardResult, e
 	for i := 0; i < sc.Nodes; i++ {
 		n := run.nodes[i]
 		if n.publisher {
+			n.pubFn = run.publishTick(n)
 			first := time.Second + time.Duration(n.rng.Intn(int(sc.PublishEvery/time.Millisecond)))*time.Millisecond
-			eng.ScheduleActor(sim.ActorID(i), first, "publish", run.publishTick(eng, n))
+			eng.ScheduleActor(sim.ActorID(i), first, "publish", n.pubFn)
 		}
 		if sc.AntiEntropyEvery > 0 && sc.Mode == ShardModeGossip {
+			n.aeFn = run.antiEntropyTick(n)
 			phase := time.Duration(n.rng.Intn(int(sc.AntiEntropyEvery/time.Millisecond))) * time.Millisecond
-			eng.ScheduleActor(sim.ActorID(i), sc.AntiEntropyEvery+phase, "anti-entropy", run.antiEntropyTick(n))
+			eng.ScheduleActor(sim.ActorID(i), sc.AntiEntropyEvery+phase, "anti-entropy", n.aeFn)
 		}
 		// Mobility ticks run at EVERY shard count (a 1-shard Migrate is a
 		// no-op): gating them on shards > 1 would skew both the per-node
 		// stream (the phase draw below) and the processed-event count,
 		// breaking shard-count invariance.
 		if sc.MobilityEvery > 0 {
+			n.mobFn = run.mobilityTick(n)
 			phase := time.Duration(n.rng.Intn(int(sc.MobilityEvery/time.Millisecond))) * time.Millisecond
-			eng.ScheduleActor(sim.ActorID(i), sc.MobilityEvery+phase, "mobility", run.mobilityTick(n))
+			eng.ScheduleActor(sim.ActorID(i), sc.MobilityEvery+phase, "mobility", n.mobFn)
 		}
 	}
 
@@ -359,7 +376,7 @@ func RunShardScenario(seed int64, shards int, sc ShardScenario) (*ShardResult, e
 }
 
 // publishTick publishes one payload and reschedules until PublishUntil.
-func (r *shardRun) publishTick(eng *sim.Sharded, n *shardNode) func(*sim.ShardCtx) {
+func (r *shardRun) publishTick(n *shardNode) func(*sim.ShardCtx) {
 	return func(c *sim.ShardCtx) {
 		now := c.Now()
 		if !r.alive(n.id, now) {
@@ -382,7 +399,7 @@ func (r *shardRun) publishTick(eng *sim.Sharded, n *shardNode) func(*sim.ShardCt
 			r.relay(c, n, key, data, r.sc.TTL, n.id, now)
 		}
 		if next := now + r.sc.PublishEvery; next <= r.sc.PublishUntil {
-			c.Schedule(r.sc.PublishEvery, "publish", r.publishTick(eng, n))
+			c.Schedule(r.sc.PublishEvery, "publish", n.pubFn)
 		}
 	}
 }
@@ -390,11 +407,14 @@ func (r *shardRun) publishTick(eng *sim.Sharded, n *shardNode) func(*sim.ShardCt
 // relay forwards key to up to Fanout linked peers, shuffled by the
 // relaying node's own stream — per-node randomness keeps the draw
 // sequence a function of the node's event order alone.
+//
+//iobt:hot
 func (r *shardRun) relay(c *sim.ShardCtx, n *shardNode, key GossipKey, data []byte, ttl int, exclude NodeID, now time.Duration) {
 	if ttl <= 0 {
 		return
 	}
-	peers := r.peers(nil, n.id, now)
+	n.peerBuf, n.candBuf = r.peers(n.peerBuf, n.candBuf, n.id, now)
+	peers := n.peerBuf
 	if exclude != n.id {
 		trimmed := peers[:0]
 		for _, p := range peers {
@@ -416,7 +436,7 @@ func (r *shardRun) relay(c *sim.ShardCtx, n *shardNode, key GossipKey, data []by
 		n.relays++
 		jitter := time.Duration(n.rng.Exp(float64(20 * time.Millisecond)))
 		//iobt:allow gocapture payload bytes are immutable after publish; every receiver stores the same backing array it would get from a codec round-trip
-		c.Send(sim.ActorID(p), r.sc.HopLatency+jitter, "gossip.data", r.receive(key, data, ttl-1, from))
+		c.Send(sim.ActorID(p), r.sc.HopLatency+jitter, "gossip.data", r.receive(key, data, ttl-1, from)) //iobt:allow hotalloc the receive closure is the message frame itself: one allocation per transmitted copy, exactly what a codec would cost
 	}
 }
 
@@ -457,10 +477,11 @@ func (r *shardRun) flood(c *sim.ShardCtx, n *shardNode, key GossipKey, data []by
 	seen := map[NodeID]bool{n.id: true}
 	frontier := []hop{{n.id, 0}}
 	var scratch []NodeID
+	var cand []int32
 	for len(frontier) > 0 {
 		h := frontier[0]
 		frontier = frontier[1:]
-		scratch = r.peers(scratch, h.id, now)
+		scratch, cand = r.peers(scratch, cand, h.id, now)
 		for _, p := range scratch {
 			if seen[p] {
 				continue
@@ -485,7 +506,9 @@ func (r *shardRun) antiEntropyTick(n *shardNode) func(*sim.ShardCtx) {
 			return
 		}
 		if len(n.holds) > 0 {
-			peers := r.peers(nil, n.id, now)
+			var peers []NodeID
+			peers, n.candBuf = r.peers(n.peerBuf, n.candBuf, n.id, now)
+			n.peerBuf = peers
 			if len(peers) > 0 {
 				target := peers[n.rng.Pick(len(peers))]
 				keys := make([]GossipKey, 0, len(n.holds))
@@ -502,7 +525,7 @@ func (r *shardRun) antiEntropyTick(n *shardNode) func(*sim.ShardCtx) {
 			}
 		}
 		if next := now + r.sc.AntiEntropyEvery; next <= r.sc.Horizon {
-			c.Schedule(r.sc.AntiEntropyEvery, "anti-entropy", r.antiEntropyTick(n))
+			c.Schedule(r.sc.AntiEntropyEvery, "anti-entropy", n.aeFn)
 		}
 	}
 }
@@ -544,7 +567,7 @@ func (r *shardRun) mobilityTick(n *shardNode) func(*sim.ShardCtx) {
 		}
 		c.Migrate(r.sm.ShardOf(r.pos(n.id, now)))
 		if next := now + r.sc.MobilityEvery; next <= r.sc.Horizon {
-			c.Schedule(r.sc.MobilityEvery, "mobility", r.mobilityTick(n))
+			c.Schedule(r.sc.MobilityEvery, "mobility", n.mobFn)
 		}
 	}
 }

@@ -1,0 +1,120 @@
+package sim
+
+// Allocation regression tests for the pooled scheduling paths: the
+// steady-state per-event cost of both engines must be zero allocations
+// (ROADMAP item 3). These pin what the CI bench-gate measures, and the
+// handle-generation tests pin the safety property that makes pooling
+// sound: a Handle outliving its event must never touch the recycled
+// struct's next occupant.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestEngineZeroAllocScheduling(t *testing.T) {
+	eng := NewEngine(1)
+	var tick func()
+	tick = func() { eng.Schedule(time.Millisecond, "tick", tick) }
+	for i := 0; i < 8; i++ {
+		eng.Schedule(time.Millisecond, "tick", tick)
+	}
+	for i := 0; i < 100; i++ { // warm the pool and the heap capacity
+		eng.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() { eng.Step() })
+	if allocs != 0 {
+		t.Fatalf("steady-state Schedule+Step allocated %v per event, want 0", allocs)
+	}
+}
+
+func TestShardedZeroAllocScheduling(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(string(rune('0'+shards)), func(t *testing.T) {
+			const actors = 16
+			s := NewSharded(1, ShardedConfig{Shards: shards, Lookahead: time.Millisecond})
+			var tick, deliver func(c *ShardCtx)
+			deliver = func(c *ShardCtx) {}
+			tick = func(c *ShardCtx) {
+				c.Schedule(time.Millisecond, "tick", tick)
+				//iobt:allow lookaheadclamp the engine above is configured with Lookahead: time.Millisecond, so a 1ms Send is exactly at the floor, not clamped
+				c.Send((c.Self()+1)%actors, time.Millisecond, "msg", deliver)
+			}
+			for i := 0; i < actors; i++ {
+				s.AddActor(ActorID(i), i%shards)
+				s.ScheduleActor(ActorID(i), time.Millisecond, "tick", tick)
+			}
+			// Warm the pools, heaps, and inbox ping-pong buffers.
+			if err := s.Run(20 * time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			// Drive barrier-to-barrier windows inline (workers down, so
+			// every lane executes on this goroutine): the measured loop is
+			// exactly the scheduling path — pool alloc/free, heap push/pop,
+			// mailbox staging and drain — at the full shard layout.
+			ctx := context.Background()
+			end := s.Now()
+			allocs := testing.AllocsPerRun(100, func() {
+				end += time.Millisecond
+				s.runWindow(ctx, end, false)
+				s.drainInboxes()
+				s.applyMigrations()
+				s.setNow(end)
+			})
+			if allocs != 0 {
+				t.Fatalf("%d shards: steady-state window allocated %v, want 0", shards, allocs)
+			}
+			if s.Processed() == 0 {
+				t.Fatal("no events processed")
+			}
+		})
+	}
+}
+
+func TestHandleStaleAfterRecycle(t *testing.T) {
+	eng := NewEngine(1)
+	fired := 0
+	h1 := eng.Schedule(time.Millisecond, "a", func() { fired += 1 })
+	if !eng.Step() {
+		t.Fatal("step")
+	}
+	// The pool hands the recycled struct straight back.
+	h2 := eng.Schedule(time.Millisecond, "b", func() { fired += 10 })
+	if h1.ev != h2.ev {
+		t.Fatal("expected the recycled event struct to be reused")
+	}
+	if h1.Pending() {
+		t.Error("stale handle reports pending")
+	}
+	if h1.Cancel() {
+		t.Error("stale handle canceled the recycled event")
+	}
+	if !h2.Pending() {
+		t.Error("fresh handle should be pending")
+	}
+	if !eng.Step() {
+		t.Fatal("step")
+	}
+	if fired != 11 {
+		t.Fatalf("fired = %d, want 11 (stale handle must not block the reused event)", fired)
+	}
+}
+
+func TestHandleCancelRecycles(t *testing.T) {
+	eng := NewEngine(1)
+	h := eng.Schedule(time.Millisecond, "a", func() { t.Error("canceled event fired") })
+	if !h.Cancel() {
+		t.Fatal("cancel")
+	}
+	eng.Schedule(2*time.Millisecond, "b", func() {})
+	if !eng.Step() { // pops the canceled event, recycles it, fires "b"
+		t.Fatal("step")
+	}
+	if h.Cancel() || h.Pending() {
+		t.Error("handle to a popped canceled event must be inert")
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", eng.Pending())
+	}
+}

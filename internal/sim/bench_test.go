@@ -1,0 +1,110 @@
+package sim
+
+// Scheduling-path micro-benchmarks: the per-event cost of the
+// sequential and sharded engines. These are the numbers the hot-path
+// campaign (ROADMAP item 3) gates on — allocs/op on the steady-state
+// scheduling path must be zero, and the benchtab `-bench` table and CI
+// bench-gate run the same loops through testing.Benchmark.
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineEvent measures one steady-state Schedule+Step cycle:
+// a self-rescheduling event, so every Step pops one event and pushes
+// its successor. The closure is created once outside the loop; the
+// per-op cost is purely the engine's own bookkeeping.
+func BenchmarkEngineEvent(b *testing.B) {
+	eng := NewEngine(1)
+	var tick func()
+	tick = func() { eng.Schedule(time.Millisecond, "tick", tick) }
+	eng.Schedule(time.Millisecond, "tick", tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// BenchmarkEngineScheduleCancel exercises the Schedule+Cancel path:
+// handles must stay valid (and refuse to fire) without holding the
+// event alive.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	eng := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := eng.Schedule(time.Millisecond, "x", fn)
+		h.Cancel()
+		eng.Step()
+	}
+}
+
+const benchActors = 64
+
+// shardedTickBench builds a Sharded engine with benchActors
+// self-rescheduling actors (one local event per actor per virtual
+// millisecond) and runs ~b.N events, so ns/op and allocs/op read as
+// per-event costs with barrier overhead amortized across the window.
+func shardedTickBench(b *testing.B, shards int) {
+	b.Helper()
+	s := NewSharded(1, ShardedConfig{Shards: shards, Lookahead: time.Millisecond})
+	var tick func(c *ShardCtx)
+	tick = func(c *ShardCtx) { c.Schedule(time.Millisecond, "tick", tick) }
+	for i := 0; i < benchActors; i++ {
+		s.AddActor(ActorID(i), i%shards)
+		s.ScheduleActor(ActorID(i), time.Millisecond, "tick", tick)
+	}
+	horizon := time.Duration((b.N+benchActors-1)/benchActors) * time.Millisecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(horizon); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if s.Processed() == 0 {
+		b.Fatal("no events processed")
+	}
+}
+
+func BenchmarkShardedLocal1(b *testing.B) { shardedTickBench(b, 1) }
+func BenchmarkShardedLocal2(b *testing.B) { shardedTickBench(b, 2) }
+func BenchmarkShardedLocal4(b *testing.B) { shardedTickBench(b, 4) }
+func BenchmarkShardedLocal8(b *testing.B) { shardedTickBench(b, 8) }
+
+// shardedSendBench is the cross-actor counterpart: every actor relays
+// a delivery to its ring successor, so each event goes through Send,
+// the destination mailbox, and the barrier drain — the full
+// cross-shard path.
+func shardedSendBench(b *testing.B, shards int) {
+	b.Helper()
+	s := NewSharded(1, ShardedConfig{Shards: shards, Lookahead: time.Millisecond})
+	var relay func(c *ShardCtx)
+	relay = func(c *ShardCtx) {
+		//iobt:allow lookaheadclamp the engine above is configured with Lookahead: time.Millisecond, so a 1ms Send is exactly at the floor, not clamped
+		c.Send((c.Self()+1)%benchActors, time.Millisecond, "msg", relay)
+	}
+	for i := 0; i < benchActors; i++ {
+		s.AddActor(ActorID(i), i%shards)
+	}
+	for i := 0; i < benchActors; i++ {
+		s.ScheduleActor(ActorID(i), time.Millisecond, "seed", relay)
+	}
+	horizon := time.Duration((b.N+benchActors-1)/benchActors) * time.Millisecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(horizon); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if s.Processed() == 0 {
+		b.Fatal("no events processed")
+	}
+}
+
+func BenchmarkShardedSend1(b *testing.B) { shardedSendBench(b, 1) }
+func BenchmarkShardedSend2(b *testing.B) { shardedSendBench(b, 2) }
+func BenchmarkShardedSend4(b *testing.B) { shardedSendBench(b, 4) }
+func BenchmarkShardedSend8(b *testing.B) { shardedSendBench(b, 8) }

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -19,6 +18,12 @@ import (
 )
 
 // Event is a unit of simulated work scheduled at a virtual time.
+//
+// Events are pooled: once fired (or popped canceled) the engine
+// recycles the struct through a free list, so the steady-state
+// scheduling path allocates nothing (pinned by TestEngineZeroAlloc and
+// the CI bench gate). Recycling bumps gen, which is what keeps stale
+// Handles inert instead of canceling an unrelated reused event.
 type Event struct {
 	// At is the virtual time at which the event fires.
 	At time.Duration
@@ -30,16 +35,24 @@ type Event struct {
 	seq      uint64 // tie-breaker: FIFO among equal timestamps
 	index    int    // heap index, -1 when not queued
 	canceled bool
+	gen      uint32 // bumped on recycle; Handles remember the gen they saw
+	next     *Event // free-list link while recycled
 }
 
-// Handle refers to a scheduled event and allows cancellation.
-type Handle struct{ ev *Event }
+// Handle refers to a scheduled event and allows cancellation. A Handle
+// outliving its event is safe: firing recycles the event under a new
+// generation, so the stale Handle reports !Pending and Cancel is a
+// no-op.
+type Handle struct {
+	ev  *Event
+	gen uint32
+}
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op. Returns true if the event was
 // pending and is now canceled.
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.canceled || h.ev.index < 0 {
+	if h.ev == nil || h.ev.gen != h.gen || h.ev.canceled || h.ev.index < 0 {
 		return false
 	}
 	h.ev.canceled = true
@@ -48,43 +61,75 @@ func (h Handle) Cancel() bool {
 
 // Pending reports whether the event is still queued and not canceled.
 func (h Handle) Pending() bool {
-	return h.ev != nil && !h.ev.canceled && h.ev.index >= 0
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.canceled && h.ev.index >= 0
 }
 
+// eventQueue is an intrusive binary min-heap ordered by (At, seq). The
+// sift loops are hand-rolled rather than container/heap so the per-event
+// path stays free of interface-method dispatch; each element carries its
+// index so cancellation checks stay O(1).
 type eventQueue []*Event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].At != q[j].At {
 		return q[i].At < q[j].At
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		return
-	}
+func (q *eventQueue) push(ev *Event) {
 	ev.index = len(*q)
 	*q = append(*q, ev)
+	q.siftUp(ev.index)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+func (q *eventQueue) pop() *Event {
+	s := *q
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[0].index = 0
+	s[n] = nil
+	*q = s[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	top.index = -1
+	return top
+}
+
+func (q eventQueue) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			return
+		}
+		q[i], q[p] = q[p], q[i]
+		q[i].index = i
+		q[p].index = p
+		i = p
+	}
+}
+
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			return
+		}
+		q[i], q[m] = q[m], q[i]
+		q[i].index = i
+		q[m].index = m
+		i = m
+	}
 }
 
 // ErrStopped is returned by Run when the simulation was halted via Stop.
@@ -107,6 +152,9 @@ type Engine struct {
 	// stays single-threaded.
 	processed atomic.Uint64
 	pending   atomic.Int64
+
+	// free is the recycled-event pool (singly linked through Event.next).
+	free *Event
 
 	rng    *RNG
 	tracer *Tracer
@@ -141,15 +189,40 @@ func (e *Engine) Stream(name string) *RNG { return e.rng.Derive(name) }
 
 // Schedule queues fn to run after delay. A negative delay is an error in
 // the model; it is clamped to zero so causality is preserved.
+//
+//iobt:hot
 func (e *Engine) Schedule(delay time.Duration, label string, fn func()) Handle {
 	if delay < 0 {
 		delay = 0
 	}
-	ev := &Event{At: e.now + delay, Fn: fn, Label: label, seq: e.seq}
+	ev := e.free
+	if ev == nil {
+		//iobt:allow hotalloc pool refill: allocates only until the free list warms to the peak queue depth, then the recycle-before-fire cycle reuses structs forever
+		ev = &Event{}
+	} else {
+		e.free = ev.next
+		ev.next = nil
+	}
+	ev.At = e.now + delay
+	ev.Fn = fn
+	ev.Label = label
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	e.pending.Add(1)
-	return Handle{ev: ev}
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// recycle returns a popped event to the free list under a fresh
+// generation. Fn and Label are cleared so the pool never pins closures
+// or strings past the firing.
+func (e *Engine) recycle(ev *Event) {
+	ev.Fn = nil
+	ev.Label = ""
+	ev.canceled = false
+	ev.gen++
+	ev.next = e.free
+	e.free = ev
 }
 
 // ScheduleAt queues fn at an absolute virtual time. Times in the past are
@@ -205,14 +278,14 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Step executes the single next event, advancing the clock. It returns
 // false when the queue is empty.
+//
+//iobt:hot
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev, ok := heap.Pop(&e.queue).(*Event)
-		if !ok {
-			return false
-		}
+		ev := e.queue.pop()
 		e.pending.Add(-1)
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		if ev.At < e.now {
@@ -224,7 +297,11 @@ func (e *Engine) Step() bool {
 		if e.tracer != nil {
 			e.tracer.record(ev.At, ev.Label)
 		}
-		ev.Fn()
+		// Recycle before firing so a self-rescheduling event reuses its
+		// own struct: the steady-state pool size is the peak queue depth.
+		fn := ev.Fn
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false

@@ -32,7 +32,6 @@ package sim
 // changes with the shard count, stable names do not.
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -82,7 +81,8 @@ type shardEvent struct {
 	a, b  uint64
 	label string
 	fn    func(*ShardCtx)
-	index int // heap index
+	index int         // heap index
+	next  *shardEvent // free-list link while recycled
 }
 
 func (e *shardEvent) before(o *shardEvent) bool {
@@ -101,27 +101,85 @@ func (e *shardEvent) before(o *shardEvent) bool {
 	return e.b < o.b
 }
 
+// shardHeap is an intrusive binary min-heap over the five-part event
+// key. Like the sequential engine's eventQueue, the sift loops are
+// hand-rolled so the per-event path has no interface-method dispatch;
+// the index field supports O(1) removal when an actor migrates.
 type shardHeap []*shardEvent
 
-func (q shardHeap) Len() int           { return len(q) }
-func (q shardHeap) Less(i, j int) bool { return q[i].before(q[j]) }
-func (q shardHeap) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
-func (q *shardHeap) Push(x any) {
-	ev, ok := x.(*shardEvent)
-	if !ok {
-		return
-	}
+func (q *shardHeap) push(ev *shardEvent) {
 	ev.index = len(*q)
 	*q = append(*q, ev)
+	q.siftUp(ev.index)
 }
-func (q *shardHeap) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+
+func (q *shardHeap) pop() *shardEvent {
+	s := *q
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[0].index = 0
+	s[n] = nil
+	*q = s[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	top.index = -1
+	return top
+}
+
+// removeAt unlinks the event at heap index i, restoring the heap
+// property around the hole.
+func (q *shardHeap) removeAt(i int) *shardEvent {
+	s := *q
+	n := len(s) - 1
+	ev := s[i]
+	if i != n {
+		s[i] = s[n]
+		s[i].index = i
+	}
+	s[n] = nil
+	*q = s[:n]
+	if i < n {
+		q.siftDown(i)
+		q.siftUp(i)
+	}
 	ev.index = -1
-	*q = old[:n-1]
 	return ev
+}
+
+func (q shardHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q[i].before(q[p]) {
+			return
+		}
+		q[i], q[p] = q[p], q[i]
+		q[i].index = i
+		q[p].index = p
+		i = p
+	}
+}
+
+func (q shardHeap) siftDown(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && q[r].before(q[l]) {
+			m = r
+		}
+		if !q[m].before(q[i]) {
+			return
+		}
+		q[i], q[m] = q[m], q[i]
+		q[i].index = i
+		q[m].index = m
+		i = m
+	}
 }
 
 // migration is one staged actor handoff, applied at the next barrier.
@@ -145,9 +203,23 @@ type lane struct {
 	inboxMu sync.Mutex
 	inbox   []*shardEvent //iobt:barrier-only
 
+	// inboxSpare is the drained inbox buffer from the previous barrier,
+	// swapped back in at the next drain so the two buffers ping-pong and
+	// steady-state staging never grows a fresh slice.
+	inboxSpare []*shardEvent //iobt:barrier-only
+
 	// migrations staged by this lane's own events during the window;
 	// drained by the coordinator at the barrier.
 	migrations []migration //iobt:barrier-only
+
+	// free is the lane's recycled-event pool (linked through
+	// shardEvent.next). It is owner-only like the queue: the lane's own
+	// worker allocates (Schedule, and Send — senders draw from their own
+	// lane's pool) and frees (after executing an event), and the
+	// coordinator allocates at barriers (ScheduleActor). Events sent
+	// cross-shard drift between pools, which is harmless: each pool is
+	// still touched by exactly one goroutine at a time.
+	free *shardEvent //iobt:barrier-only
 
 	// processed, pending, and clamped are mutated by the worker and read
 	// by aggregating observers at any time, hence atomic (mutex-free).
@@ -156,6 +228,33 @@ type lane struct {
 	clamped   atomic.Uint64
 
 	ctx ShardCtx // reused per event; never escapes the worker
+}
+
+// allocEvent takes an event from the lane's pool (or the heap when the
+// pool is dry). Callers fill every key field; the struct arrives
+// zeroed.
+//
+//iobt:barrier
+//iobt:hot
+func (ln *lane) allocEvent() *shardEvent {
+	ev := ln.free
+	if ev == nil {
+		//iobt:allow hotalloc pool refill: each lane's free list warms to its peak in-flight event count, then alloc-on-sender/free-on-executor recycles structs forever
+		return &shardEvent{}
+	}
+	ln.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// freeEvent recycles an executed event into the lane's pool, zeroing
+// it so the pool never pins closures or labels past the firing.
+//
+//iobt:barrier
+//iobt:hot
+func (ln *lane) freeEvent(ev *shardEvent) {
+	*ev = shardEvent{next: ln.free}
+	ln.free = ev
 }
 
 // actorMeta is the engine's bookkeeping for one actor. shard is written
@@ -209,6 +308,22 @@ type Sharded struct {
 
 	panicMu sync.Mutex
 	panics  []*ShardPanicError
+
+	// workCh, when non-nil, carries window assignments to the persistent
+	// per-lane workers spawned for the duration of one RunContext call;
+	// windowWG joins each window, workerWG joins worker shutdown.
+	// Spawning once per run instead of once per window keeps the
+	// per-window cost to channel handoffs (no goroutine or closure
+	// allocation on the steady-state path).
+	workCh   []chan windowSpec
+	windowWG sync.WaitGroup
+	workerWG sync.WaitGroup
+}
+
+// windowSpec is one window assignment handed to a lane worker.
+type windowSpec struct {
+	end       time.Duration
+	inclusive bool
 }
 
 // NewSharded returns a sharded engine seeded with seed.
@@ -332,10 +447,15 @@ func (s *Sharded) ScheduleActor(id ActorID, delay time.Duration, label string, f
 		delay = 0
 	}
 	m := &s.actors[id]
-	ev := &shardEvent{at: s.Now() + delay, actor: id, class: 0, a: m.seq, label: label, fn: fn}
-	m.seq++
 	ln := s.lanes[m.shard]
-	heap.Push(&ln.queue, ev)
+	ev := ln.allocEvent()
+	ev.at = s.Now() + delay
+	ev.actor = id
+	ev.a = m.seq
+	ev.label = label
+	ev.fn = fn
+	m.seq++
+	ln.queue.push(ev)
 	ln.pending.Add(1)
 }
 
@@ -375,6 +495,10 @@ func (s *Sharded) RunContext(ctx context.Context, horizon time.Duration) error {
 		limit = s.Now() + horizon
 	}
 	done := ctx.Done()
+	if len(s.lanes) > 1 {
+		s.startWorkers(ctx)
+		defer s.stopWorkers()
+	}
 	// A previous interrupted run may have left staged deliveries in the
 	// mailboxes; fold them in so nextEventTime sees the whole backlog.
 	s.drainInboxes()
@@ -486,29 +610,65 @@ func (s *Sharded) setNow(t time.Duration) {
 	}
 }
 
-// runWindow executes one window on every lane. With one shard it runs
-// inline; otherwise one goroutine per lane, joined by a WaitGroup — the
-// barrier cannot deadlock because workers only pop their own heap and
-// stage into mutex-guarded mailboxes, never wait on each other.
+// startWorkers spawns one persistent goroutine per lane for the
+// duration of a multi-shard run. Workers block on their assignment
+// channel, execute the window on their own lane, and report back
+// through windowWG — the barrier cannot deadlock because workers only
+// pop their own heap and stage into mutex-guarded mailboxes, never
+// wait on each other.
+func (s *Sharded) startWorkers(ctx context.Context) {
+	s.workCh = make([]chan windowSpec, len(s.lanes))
+	for i, ln := range s.lanes {
+		ch := make(chan windowSpec, 1)
+		s.workCh[i] = ch
+		s.workerWG.Add(1)
+		go func(ln *lane, ch chan windowSpec) {
+			defer s.workerWG.Done()
+			for spec := range ch {
+				s.laneWindowGuarded(ln, ctx, spec.end, spec.inclusive)
+				s.windowWG.Done()
+			}
+		}(ln, ch)
+	}
+}
+
+// stopWorkers shuts the worker pool down and waits for every worker to
+// exit, so no goroutine outlives the Run call that spawned it.
+func (s *Sharded) stopWorkers() {
+	for _, ch := range s.workCh {
+		close(ch)
+	}
+	s.workerWG.Wait()
+	s.workCh = nil
+}
+
+// laneWindowGuarded is laneWindow behind the worker panic fence: a
+// panicking event is recorded (and surfaced at the barrier) without
+// killing the worker, so the window still joins.
+func (s *Sharded) laneWindowGuarded(ln *lane, ctx context.Context, end time.Duration, inclusive bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recordPanic(&ShardPanicError{Shard: ln.id, Value: r, Stack: debug.Stack()})
+		}
+	}()
+	s.laneWindow(ln, ctx, end, inclusive)
+}
+
+// runWindow executes one window on every lane: handed to the
+// persistent workers when a multi-shard run has them up, inline
+// otherwise (single shard, and barrier-time use).
 func (s *Sharded) runWindow(ctx context.Context, end time.Duration, inclusive bool) {
-	if len(s.lanes) == 1 {
-		s.laneWindow(s.lanes[0], ctx, end, inclusive)
+	if s.workCh == nil {
+		for _, ln := range s.lanes {
+			s.laneWindow(ln, ctx, end, inclusive)
+		}
 		return
 	}
-	var wg sync.WaitGroup
-	for _, ln := range s.lanes {
-		wg.Add(1)
-		go func(ln *lane) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					s.recordPanic(&ShardPanicError{Shard: ln.id, Value: r, Stack: debug.Stack()})
-				}
-			}()
-			s.laneWindow(ln, ctx, end, inclusive)
-		}(ln)
+	s.windowWG.Add(len(s.workCh))
+	for _, ch := range s.workCh {
+		ch <- windowSpec{end: end, inclusive: inclusive}
 	}
-	wg.Wait()
+	s.windowWG.Wait()
 }
 
 // laneWindow drains one lane's heap up to the window end (strict, so
@@ -517,6 +677,7 @@ func (s *Sharded) runWindow(ctx context.Context, end time.Duration, inclusive bo
 // at-most-limit semantics).
 //
 //iobt:barrier
+//iobt:hot
 func (s *Sharded) laneWindow(ln *lane, ctx context.Context, end time.Duration, inclusive bool) {
 	done := ctx.Done()
 	for len(ln.queue) > 0 {
@@ -534,10 +695,7 @@ func (s *Sharded) laneWindow(ln *lane, ctx context.Context, end time.Duration, i
 			default:
 			}
 		}
-		ev, ok := heap.Pop(&ln.queue).(*shardEvent)
-		if !ok {
-			return
-		}
+		ev := ln.queue.pop()
 		// Causality guard against the conservative global clock, not the
 		// lane clock: after an interrupted window a migrated-in event may
 		// trail the destination lane's local progress, but nothing may ever
@@ -555,7 +713,11 @@ func (s *Sharded) laneWindow(ln *lane, ctx context.Context, end time.Duration, i
 		}
 		ln.ctx.actor = ev.actor
 		ln.ctx.at = ev.at
-		ev.fn(&ln.ctx)
+		// Recycle into the executing lane's pool before firing so a
+		// self-rescheduling actor reuses its own struct.
+		fn := ev.fn
+		ln.freeEvent(ev)
+		fn(&ln.ctx)
 	}
 }
 
@@ -577,24 +739,29 @@ func (s *Sharded) takePanic() error {
 	return s.panics[0]
 }
 
-// drainInboxes merges every lane's mailbox into its heap. The mailbox
-// is sorted by the partition-independent event key first, so the merged
-// order never depends on which worker staged first.
+// drainInboxes merges every lane's mailbox into its heap. Merged order
+// cannot depend on which worker staged first: the five-part event key
+// is strictly unique (per-actor schedule sequences, per-sender send
+// sequences), so the heap's pop sequence is the sorted key order
+// whatever the push order was — no pre-sort needed. The drained buffer
+// is kept as the spare and swapped back in at the next barrier, so
+// steady-state staging reuses two ping-ponged buffers instead of
+// growing a fresh slice every window.
 //
 //iobt:barrier
+//iobt:hot
 func (s *Sharded) drainInboxes() {
 	for _, ln := range s.lanes {
+		//iobt:allow defercycle one uncontended lock per lane per barrier swaps the staged mailbox out; the lock bounds worker staging, not per-event work
 		ln.inboxMu.Lock()
 		in := ln.inbox
-		ln.inbox = nil
+		ln.inbox = ln.inboxSpare[:0]
 		ln.inboxMu.Unlock()
-		if len(in) == 0 {
-			continue
-		}
-		sort.Slice(in, func(i, j int) bool { return in[i].before(in[j]) })
 		for _, ev := range in {
-			heap.Push(&ln.queue, ev)
+			ln.queue.push(ev)
 		}
+		clear(in) // drop event pointers so the spare pins nothing
+		ln.inboxSpare = in[:0]
 	}
 }
 
@@ -635,13 +802,13 @@ func (s *Sharded) moveActor(id ActorID, to int32) {
 		}
 	}
 	for _, ev := range moving {
-		heap.Remove(&from.queue, ev.index)
+		from.queue.removeAt(ev.index)
 	}
 	// Deterministic insertion (the heap's total order makes push order
 	// irrelevant, but sorted insertion keeps the walk auditable).
 	sort.Slice(moving, func(i, j int) bool { return moving[i].before(moving[j]) })
 	for _, ev := range moving {
-		heap.Push(&dst.queue, ev)
+		dst.queue.push(ev)
 	}
 	if n := int64(len(moving)); n > 0 {
 		from.pending.Add(-n)
@@ -678,14 +845,20 @@ func (c *ShardCtx) Engine() *Sharded { return c.s }
 // need no lookahead.
 //
 //iobt:barrier
+//iobt:hot
 func (c *ShardCtx) Schedule(delay time.Duration, label string, fn func(*ShardCtx)) {
 	if delay < 0 {
 		delay = 0
 	}
 	m := &c.s.actors[c.actor]
-	ev := &shardEvent{at: c.at + delay, actor: c.actor, class: 0, a: m.seq, label: label, fn: fn}
+	ev := c.ln.allocEvent()
+	ev.at = c.at + delay
+	ev.actor = c.actor
+	ev.a = m.seq
+	ev.label = label
+	ev.fn = fn
 	m.seq++
-	heap.Push(&c.ln.queue, ev)
+	c.ln.queue.push(ev)
 	c.ln.pending.Add(1)
 }
 
@@ -697,6 +870,8 @@ func (c *ShardCtx) Schedule(delay time.Duration, label string, fn func(*ShardCtx
 // sender-sequence). Each clamp increments the sending shard's counter,
 // surfaced by ClampedSends — a model whose latencies routinely ride the
 // floor is really simulating the Lookahead, not its stated delays.
+//
+//iobt:hot
 func (c *ShardCtx) Send(dst ActorID, delay time.Duration, label string, fn func(*ShardCtx)) {
 	s := c.s
 	s.mustActor(dst)
@@ -705,7 +880,16 @@ func (c *ShardCtx) Send(dst ActorID, delay time.Duration, label string, fn func(
 		c.ln.clamped.Add(1)
 	}
 	src := &s.actors[c.actor]
-	ev := &shardEvent{at: c.at + delay, actor: dst, class: 1, a: uint64(c.actor), b: src.sendSeq, label: label, fn: fn}
+	// The event struct comes from the *sender's* lane pool (the only one
+	// this worker owns) and is freed into the executing lane's pool.
+	ev := c.ln.allocEvent()
+	ev.at = c.at + delay
+	ev.actor = dst
+	ev.class = 1
+	ev.a = uint64(c.actor)
+	ev.b = src.sendSeq
+	ev.label = label
+	ev.fn = fn
 	src.sendSeq++
 	// Every delivery goes through the destination mailbox — even to the
 	// sender's own shard. A same-shard fast path into the live heap

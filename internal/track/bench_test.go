@@ -1,0 +1,43 @@
+package track
+
+// Observe is the E13 per-tick hot path: every sensor batch runs the
+// greedy GNN association. The benchmark holds the tracker at a steady
+// population (50 targets, 50 detections per tick) so allocs/op reads
+// as the per-tick association cost.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"iobt/internal/geo"
+)
+
+func BenchmarkTrackerObserve(b *testing.B) {
+	const targets = 50
+	tr := NewTracker(Config{})
+	dets := make([]Detection, targets)
+	pos := func(i int, t float64) (x, y float64) {
+		return float64(i%10)*200 + 10*math.Sin(t+float64(i)),
+			float64(i/10)*200 + 10*math.Cos(t+float64(i))
+	}
+	now := time.Duration(0)
+	for tick := 0; tick < 5; tick++ {
+		now += time.Second
+		for i := range dets {
+			x, y := pos(i, now.Seconds())
+			dets[i] = Detection{Pos: geo.Point{X: x, Y: y}, Var: 25, Sensor: int32(i % 4)}
+		}
+		tr.Observe(now, dets)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += time.Second
+		for j := range dets {
+			x, y := pos(j, now.Seconds())
+			dets[j] = Detection{Pos: geo.Point{X: x, Y: y}, Var: 25, Sensor: int32(j % 4)}
+		}
+		tr.Observe(now, dets)
+	}
+}

@@ -49,12 +49,45 @@ type Config struct {
 	ProcessNoise float64
 }
 
+// assocPair is one gated track/detection candidate in the greedy GNN
+// association.
+type assocPair struct {
+	ti, di int
+	d      float64
+}
+
+// assocPairs sorts candidates closest-first with deterministic
+// (ti, di) tie-breaks. It carries its own sort.Interface (on the
+// pointer, so sorting boxes no slice header) instead of sort.Slice,
+// which allocates a closure and a reflect-based swapper per call —
+// Observe is the E13 per-tick hot path.
+type assocPairs []assocPair
+
+func (p *assocPairs) Len() int      { return len(*p) }
+func (p *assocPairs) Swap(i, j int) { (*p)[i], (*p)[j] = (*p)[j], (*p)[i] }
+func (p *assocPairs) Less(i, j int) bool {
+	a, b := (*p)[i], (*p)[j]
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	if a.ti != b.ti {
+		return a.ti < b.ti
+	}
+	return a.di < b.di
+}
+
 // Tracker maintains multi-target tracks from detection batches.
 type Tracker struct {
 	cfg    Config
 	tracks []*Track
 	nextID int
 	now    time.Duration
+
+	// Association scratch, reused across Observe calls so the per-tick
+	// steady state allocates nothing.
+	pairBuf assocPairs
+	usedT   []bool
+	usedD   []bool
 
 	// IDSwitches counts confirmed tracks dropped while their target was
 	// still being detected nearby (continuity failures are counted by
@@ -114,6 +147,8 @@ func (tr *Tracker) Fixes() []Fix {
 // (greedy nearest-neighbor within the gate), updates matched tracks,
 // spawns tentative tracks for unmatched detections, and drops tracks
 // that have coasted too long.
+//
+//iobt:hot
 func (tr *Tracker) Observe(now time.Duration, detections []Detection) {
 	dt := (now - tr.now).Seconds()
 	tr.now = now
@@ -122,31 +157,23 @@ func (tr *Tracker) Observe(now time.Duration, detections []Detection) {
 	}
 
 	// Build candidate pairs within gates, closest first (greedy GNN).
-	type pair struct {
-		ti, di int
-		d      float64
-	}
-	var pairs []pair
+	// Scratch buffers persist on the tracker: E13 calls Observe every
+	// tick, and regrowing pair/marker storage per call was the top
+	// allocator in the tracking profile.
+	pairs := tr.pairBuf[:0]
 	for ti, t := range tr.tracks {
 		gate := tr.cfg.Gate * math.Sqrt(t.kf.PosVar()+1)
 		for di := range detections {
 			d := t.kf.Pos().Dist(detections[di].Pos)
 			if d <= gate {
-				pairs = append(pairs, pair{ti, di, d})
+				pairs = append(pairs, assocPair{ti, di, d})
 			}
 		}
 	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].d != pairs[j].d {
-			return pairs[i].d < pairs[j].d
-		}
-		if pairs[i].ti != pairs[j].ti {
-			return pairs[i].ti < pairs[j].ti
-		}
-		return pairs[i].di < pairs[j].di
-	})
-	usedT := make(map[int]bool, len(tr.tracks))
-	usedD := make(map[int]bool, len(detections))
+	tr.pairBuf = pairs
+	sort.Sort(&tr.pairBuf)
+	usedT := growMarkers(&tr.usedT, len(tr.tracks))
+	usedD := growMarkers(&tr.usedD, len(detections))
 	for _, p := range pairs {
 		if usedT[p.ti] || usedD[p.di] {
 			continue
@@ -182,12 +209,16 @@ func (tr *Tracker) Observe(now time.Duration, detections []Detection) {
 		if duplicate {
 			continue
 		}
+		// Spawning is the rare path by construction: it runs once per new
+		// target entering the gate, not once per detection — steady-state
+		// ticks re-associate into existing tracks and allocate nothing.
+		//iobt:allow hotalloc track spawn is per-new-target, not per-event: steady-state ticks update existing tracks allocation-free
 		t := &Track{
 			ID:         tr.nextID,
-			kf:         NewKalmanCV(det.Pos, det.Var, tr.cfg.ProcessNoise),
+			kf:         NewKalmanCV(det.Pos, det.Var, tr.cfg.ProcessNoise), //iobt:allow hotalloc one filter per spawned track, living as long as the track
 			LastUpdate: now,
 			Hits:       1,
-			Sensors:    map[int32]bool{det.Sensor: true},
+			Sensors:    map[int32]bool{det.Sensor: true}, //iobt:allow hotalloc one sensor-set per spawned track, living as long as the track
 		}
 		tr.nextID++
 		tr.tracks = append(tr.tracks, t)
@@ -205,6 +236,23 @@ func (tr *Tracker) Observe(now time.Duration, detections []Detection) {
 		}
 	}
 	tr.tracks = keep
+}
+
+// growMarkers resizes *buf to n cleared entries, reallocating only
+// when the retained capacity is outgrown.
+//
+//iobt:hot
+func growMarkers(buf *[]bool, n int) []bool {
+	s := *buf
+	if cap(s) < n {
+		//iobt:allow hotalloc grow-only: reallocates when the track or detection count outgrows every previous tick, then the buffer is reused forever
+		s = make([]bool, n)
+	} else {
+		s = s[:n]
+		clear(s)
+	}
+	*buf = s
+	return s
 }
 
 // Nearest returns the confirmed track closest to p and its distance, or
